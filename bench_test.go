@@ -1,0 +1,270 @@
+// Benchmark harness: one testing.B entry per table/figure in the paper's
+// evaluation (§6), plus ablation micro-benchmarks for the design choices
+// called out in DESIGN.md. Figure benchmarks use a tiny search profile so
+// `go test -bench=.` stays tractable; `cmd/stoke-bench -profile full`
+// regenerates the figures with real budgets.
+package repro_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/mcmc"
+	"repro/internal/perf"
+	"repro/internal/pipeline"
+	"repro/internal/stoke"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// benchProfile keeps figure regeneration fast under `go test -bench`: tiny
+// search budgets and a capped validator budget (hard proofs answer Unknown
+// rather than running for minutes).
+var benchProfile = experiments.Profile{
+	Seed: 1, SynthChains: 1, OptChains: 1,
+	SynthProposals: 5000, OptProposals: 10000, Ell: 14,
+	VerifyBudget: 5000,
+}
+
+// --- Figure benchmarks ---------------------------------------------------
+
+func BenchmarkFig01Montgomery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig01Montgomery(io.Discard, benchProfile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02Validations(b *testing.B) {
+	// Validator throughput on a representative query (Figure 2, left; the
+	// paper reports well below 100 validations per second).
+	bench, err := kernels.ByName("p01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := verify.LiveOut{GPRs: bench.Spec.LiveOut.GPRs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verify.Equivalent(bench.Target, bench.GccO3, live, verify.DefaultConfig)
+	}
+}
+
+func BenchmarkFig02TestcaseEvals(b *testing.B) {
+	// Emulator testcase throughput (Figure 2, right; paper: ~500k/s).
+	bench, err := kernels.ByName("p01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := emu.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := &tests[i%len(tests)]
+		m.LoadSnapshot(tc.In)
+		m.Run(bench.Target)
+	}
+}
+
+func BenchmarkFig03PredictedVsActual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig03PredictedVsActual(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05EarlyTermination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig05EarlyTermination(io.Discard, benchProfile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07CostFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig07CostFunctions(io.Discard, benchProfile, "p01"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08PercentOfFinal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig08PercentOfFinal(io.Discard, benchProfile, "p01"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10And12Suite(b *testing.B) {
+	// Figures 10 and 12 derive from one suite run (as in the paper).
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunSuite(benchProfile, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig10Speedups(io.Discard, runs)
+		experiments.Fig12Runtimes(io.Discard, runs)
+	}
+}
+
+func BenchmarkFig11Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11Params(io.Discard)
+	}
+}
+
+func BenchmarkFig13CycleThroughValues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig13CycleThroughValues(io.Discard, benchProfile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14Saxpy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig14Saxpy(io.Discard, benchProfile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15LinkedList(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig15LinkedList(io.Discard, benchProfile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation and substrate micro-benchmarks -----------------------------
+
+// BenchmarkAblationEarlyTermination measures cost evaluation with and
+// without the Equation 14 bound (DESIGN.md ablation 4).
+func BenchmarkAblationEarlyTermination(b *testing.B) {
+	bench, _ := kernels.ByName("p23")
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := cost.New(tests, bench.Spec.LiveOut, cost.Improved, 0)
+	wrong := x64.MustParse("movl 0, eax").PadTo(14)
+
+	b.Run("bounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Eval(wrong, 25) // tight bound: most testcases skipped
+		}
+	})
+	b.Run("unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Eval(wrong, cost.MaxBudget)
+		}
+	})
+}
+
+// BenchmarkAblationEqualityMetric compares the strict and improved metrics'
+// evaluation cost (the improved metric scans all 16 registers).
+func BenchmarkAblationEqualityMetric(b *testing.B) {
+	bench, _ := kernels.ByName("p14")
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.GccO3.PadTo(14)
+	for _, mode := range []struct {
+		name string
+		m    cost.Mode
+	}{{"strict", cost.Strict}, {"improved", cost.Improved}} {
+		f := cost.New(tests, bench.Spec.LiveOut, mode.m, 0)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Eval(prog, cost.MaxBudget)
+			}
+		})
+	}
+}
+
+// BenchmarkProposalThroughput measures raw MCMC proposals per second on the
+// Montgomery kernel (the paper's Figure 5 peak is ~50k/s on 2012 hardware).
+func BenchmarkProposalThroughput(b *testing.B) {
+	bench, _ := kernels.ByName("mont")
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := mcmc.PaperParams
+	params.Ell = 24
+	s := &mcmc.Sampler{
+		Params: params,
+		Pools:  mcmc.PoolsFor(bench.Target, false),
+		Cost:   cost.New(tests, bench.Spec.LiveOut, cost.Improved, 0),
+		Rng:    rand.New(rand.NewSource(5)),
+	}
+	start := s.RandomProgram()
+	b.ResetTimer()
+	s.Run(start, int64(b.N))
+}
+
+// BenchmarkEmulator measures raw instruction throughput on the gcc -O3
+// Montgomery kernel.
+func BenchmarkEmulator(b *testing.B) {
+	bench, _ := kernels.ByName("mont")
+	prog := bench.GccO3
+	in := bench.Spec.BuildInput(rand.New(rand.NewSource(6)))
+	m := emu.New()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		m.LoadSnapshot(in)
+		out := m.Run(prog)
+		steps += out.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkPipelineModel measures the cycle estimator (used during
+// re-ranking).
+func BenchmarkPipelineModel(b *testing.B) {
+	bench, _ := kernels.ByName("mont")
+	for i := 0; i < b.N; i++ {
+		pipeline.Cycles(bench.Target)
+	}
+}
+
+// BenchmarkStaticLatency measures the Equation 13 sum.
+func BenchmarkStaticLatency(b *testing.B) {
+	bench, _ := kernels.ByName("mont")
+	for i := 0; i < b.N; i++ {
+		perf.H(bench.Target)
+	}
+}
+
+// BenchmarkEndToEndP01 runs the whole pipeline on the smallest kernel.
+func BenchmarkEndToEndP01(b *testing.B) {
+	bench, _ := kernels.ByName("p01")
+	opts := stoke.DefaultOptions
+	opts.Seed = 1
+	opts.SynthChains = 1
+	opts.OptChains = 1
+	opts.SynthProposals = 2000
+	opts.OptProposals = 5000
+	opts.Ell = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stoke.Run(bench.Kernel, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

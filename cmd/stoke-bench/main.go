@@ -1,0 +1,125 @@
+// Command stoke-bench regenerates the paper's tables and figures (§6).
+//
+// Usage:
+//
+//	stoke-bench                 # every figure, quick profile
+//	stoke-bench -fig 10         # one figure
+//	stoke-bench -profile full   # larger search budgets
+//
+// Output is plain text, one section per figure, written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (0 = all)")
+		profile = flag.String("profile", "quick", "search budget: quick or full")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	p := experiments.Quick
+	if *profile == "full" {
+		p = experiments.Full
+	}
+	p.Seed = *seed
+
+	w := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "stoke-bench:", err)
+		os.Exit(1)
+	}
+	section := func() { fmt.Fprintf(w, "\n\n") }
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	// Figures 10 and 12 share one suite run, as in the paper.
+	var runs []experiments.KernelRun
+	if want(10) || want(12) {
+		var err error
+		fmt.Fprintf(w, "Running the benchmark suite (28 kernels)...\n")
+		runs, err = experiments.RunSuite(p, w)
+		if err != nil {
+			fail(err)
+		}
+		section()
+	}
+
+	if want(1) {
+		if err := experiments.Fig01Montgomery(w, p); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(2) {
+		if err := experiments.Fig02Throughput(w); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(3) {
+		if err := experiments.Fig03PredictedVsActual(w); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(5) {
+		if err := experiments.Fig05EarlyTermination(w, p); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(6) {
+		experiments.Fig06ImprovedMetric(w)
+		section()
+	}
+	if want(7) {
+		if err := experiments.Fig07CostFunctions(w, p, "mont"); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(8) {
+		if err := experiments.Fig08PercentOfFinal(w, p, "mont"); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(10) {
+		experiments.Fig10Speedups(w, runs)
+		section()
+	}
+	if want(11) {
+		experiments.Fig11Params(w)
+		section()
+	}
+	if want(12) {
+		experiments.Fig12Runtimes(w, runs)
+		section()
+	}
+	if want(13) {
+		if err := experiments.Fig13CycleThroughValues(w, p); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(14) {
+		if err := experiments.Fig14Saxpy(w, p); err != nil {
+			fail(err)
+		}
+		section()
+	}
+	if want(15) {
+		if err := experiments.Fig15LinkedList(w, p); err != nil {
+			fail(err)
+		}
+		section()
+	}
+}

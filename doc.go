@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Stochastic
+// Superoptimization" (Schkufza, Sharma, Aiken; ASPLOS 2013): MCMC search
+// over loop-free x86-64 programs, with every substrate the paper relies on
+// implemented in this module — ISA, sandboxed emulator, testcase
+// generation, cost functions, SAT-based bit-vector validator, the
+// mini-compiler producing the -O0 targets and -O3 comparators, and a
+// benchmark harness regenerating every figure of the paper's evaluation.
+//
+// Start with internal/core for the public API, cmd/stoke for the CLI,
+// cmd/stoke-bench for the figure harness, and DESIGN.md / EXPERIMENTS.md
+// for the reproduction inventory and results.
+package repro

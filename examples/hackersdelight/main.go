@@ -1,0 +1,62 @@
+// Hacker's Delight sweep — the p01..p25 benchmark of §6.1.
+//
+// Optimizes a selection of the 25 bit-twiddling kernels and prints a
+// Figure 10 style table: the speedup of gcc -O3, icc -O3 and the stochastic
+// search over the llvm -O0 style target, under the pipeline cycle model.
+//
+//	go run ./examples/hackersdelight            # a fast subset
+//	go run ./examples/hackersdelight -all       # all 25 kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run all 25 kernels (slower)")
+	flag.Parse()
+
+	subset := map[string]bool{
+		"p01": true, "p03": true, "p09": true, "p13": true,
+		"p16": true, "p18": true, "p21": true,
+	}
+
+	fmt.Printf("%-6s %8s %8s %8s %10s\n", "kernel", "gcc-O3", "icc-O3", "STOKE", "validator")
+	for _, bench := range core.Benchmarks() {
+		if !strings.HasPrefix(bench.Name, "p") {
+			continue
+		}
+		if !*all && !subset[bench.Name] {
+			continue
+		}
+		report, err := core.Optimize(bench.Kernel, core.Options{
+			Seed:           3,
+			SynthChains:    1,
+			OptChains:      2,
+			SynthProposals: 30000,
+			OptProposals:   80000,
+			Ell:            16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := pipeline.Cycles(bench.Target)
+		star := " "
+		if bench.Star {
+			star = "*"
+		}
+		fmt.Printf("%s%-5s %8.2f %8.2f %8.2f %10v\n",
+			star, bench.Name,
+			base/pipeline.Cycles(bench.GccO3),
+			base/pipeline.Cycles(bench.IccO3),
+			report.Speedup(),
+			report.Verdict)
+	}
+	fmt.Println("\n(* = the paper's STOKE found an algorithmically distinct rewrite)")
+}

@@ -1,0 +1,51 @@
+// Quickstart: superoptimize a tiny stack-heavy function.
+//
+// This is the smallest end-to-end use of the library: parse an llvm -O0
+// style listing, annotate its inputs and outputs, run the stochastic
+// search, and print the verified rewrite.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// rax := rdi + rsi, the way an -O0 compiler writes it: arguments
+	// spilled to the stack and reloaded around the add.
+	target := core.MustParse(`
+  movq rdi, -8(rsp)
+  movq rsi, -16(rsp)
+  movq -8(rsp), rax
+  addq -16(rsp), rax
+`)
+
+	kernel := core.NewKernel("quickstart-add", target,
+		core.WithInputs(core.RDI, core.RSI),
+		core.WithOutput64(core.RAX))
+
+	report, err := core.Optimize(kernel, core.Options{
+		Seed:           42,
+		SynthChains:    2,
+		OptChains:      2,
+		SynthProposals: 50000,
+		OptProposals:   50000,
+		Ell:            12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target (%d instructions):\n%s\n", target.InstCount(), target)
+	fmt.Printf("rewrite (%d instructions, %.2fx faster, validator: %v):\n%s\n",
+		report.Rewrite.InstCount(), report.Speedup(), report.Verdict, report.Rewrite)
+
+	// The validator can also be used standalone: prove the rewrite equals
+	// the target on rax for every machine state.
+	res := core.Equivalent(target, report.Rewrite, core.RAX)
+	fmt.Printf("independent equivalence check: %v\n", res.Verdict)
+}

@@ -1,0 +1,267 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// sample functions used across the tests.
+func fnAnd1() *Func { // x & (x-1)
+	return &Func{Name: "f", Params: []Type{I32}, Body: []Stmt{
+		&Return{X: B(OpAnd, P(0, I32), B(OpSub, P(0, I32), C(1, I32)))},
+	}}
+}
+
+func fnSelect() *Func { // x < y ? x : y (unsigned min)
+	return &Func{Name: "min", Params: []Type{I32, I32}, Body: []Stmt{
+		&Return{X: Select(B(OpUlt, P(0, I32), P(1, I32)), P(0, I32), P(1, I32))},
+	}}
+}
+
+func fnMul8() *Func { // x * 8: strength-reduction candidate
+	return &Func{Name: "m8", Params: []Type{I32}, Body: []Stmt{
+		&Return{X: B(OpMul, P(0, I32), C(8, I32))},
+	}}
+}
+
+// run executes a compiled function on 32-bit arguments and returns eax.
+func run(t *testing.T, p *x64.Program, args ...uint32) uint32 {
+	t.Helper()
+	a := testgen.NewArena(0x10000)
+	a.AllocStack(1 << 10)
+	regs := []x64.Reg{x64.RDI, x64.RSI, x64.RDX, x64.RCX}
+	for i, v := range args {
+		a.SetReg(regs[i], uint64(v))
+	}
+	m := emu.New()
+	m.LoadSnapshot(a.Snapshot())
+	out := m.Run(p)
+	if out.SigSegv+out.SigFpe+out.Undef > 0 {
+		t.Fatalf("compiled code faulted: %+v\n%s", out, p)
+	}
+	return uint32(m.RegValue(x64.RAX, 4))
+}
+
+func TestO0AndO2AgreeOnRandomInputs(t *testing.T) {
+	funcs := []*Func{fnAnd1(), fnSelect(), fnMul8()}
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range funcs {
+		o0 := CompileO0(f)
+		gcc := CompileO2(f, FlavorGCC)
+		icc := CompileO2(f, FlavorICC)
+		for i := 0; i < 300; i++ {
+			args := make([]uint32, len(f.Params))
+			for j := range args {
+				args[j] = rng.Uint32()
+			}
+			a := run(t, o0, args...)
+			b := run(t, gcc, args...)
+			c := run(t, icc, args...)
+			if a != b || a != c {
+				t.Fatalf("%s(%v): O0=%#x gcc=%#x icc=%#x", f.Name, args, a, b, c)
+			}
+		}
+	}
+}
+
+func TestO0VsO2ProvablyEquivalent(t *testing.T) {
+	// The SAT validator proves the two backends equal for the multiply-free
+	// samples.
+	for _, f := range []*Func{fnAnd1(), fnSelect()} {
+		o0 := CompileO0(f)
+		o2 := CompileO2(f, FlavorGCC)
+		live := verify.LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 4}}}
+		res := verify.Equivalent(o0, o2, live, verify.DefaultConfig)
+		if res.Verdict != verify.Equal {
+			t.Fatalf("%s: O0 vs O2 verdict %v\nO0:\n%s\nO2:\n%s",
+				f.Name, res.Verdict, o0, o2)
+		}
+	}
+}
+
+func TestO0ShapeIsStackHeavy(t *testing.T) {
+	p := CompileO0(fnAnd1())
+	memOps := 0
+	for _, in := range p.Insts {
+		for i := uint8(0); i < in.N; i++ {
+			if in.Opd[i].IsMem() {
+				if in.Opd[i].Base != x64.RSP {
+					t.Fatalf("O0 memory operand not rsp-relative: %v", in)
+				}
+				memOps++
+			}
+		}
+	}
+	// llvm -O0's signature: far more stack traffic than computation.
+	if memOps < p.InstCount()/2 {
+		t.Fatalf("O0 shape too clean: %d mem operands in %d insts\n%s",
+			memOps, p.InstCount(), p)
+	}
+}
+
+func TestO2ShapeHasNoStackTraffic(t *testing.T) {
+	for _, f := range []*Func{fnAnd1(), fnSelect(), fnMul8()} {
+		p := CompileO2(f, FlavorGCC)
+		for _, in := range p.Insts {
+			for i := uint8(0); i < in.N; i++ {
+				if in.Opd[i].IsMem() {
+					t.Fatalf("%s: O2 emitted memory traffic: %v", f.Name, in)
+				}
+			}
+		}
+	}
+}
+
+func TestStrengthReductionFlavors(t *testing.T) {
+	gcc := CompileO2(fnMul8(), FlavorGCC)
+	icc := CompileO2(fnMul8(), FlavorICC)
+	hasOp := func(p *x64.Program, op x64.Opcode) bool {
+		for _, in := range p.Insts {
+			if in.Op == op {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasOp(gcc, x64.SHL) || hasOp(gcc, x64.IMUL) {
+		t.Errorf("gcc flavor must strength-reduce *8 to a shift:\n%s", gcc)
+	}
+	if hasOp(icc, x64.SHL) || !hasOp(icc, x64.IMUL) {
+		t.Errorf("icc flavor must keep the multiply (§6.3):\n%s", icc)
+	}
+}
+
+func TestSelectLoweringFlavors(t *testing.T) {
+	gcc := CompileO2(fnSelect(), FlavorGCC)
+	icc := CompileO2(fnSelect(), FlavorICC)
+	hasOp := func(p *x64.Program, op x64.Opcode) bool {
+		for _, in := range p.Insts {
+			if in.Op == op {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasOp(gcc, x64.CMOVcc) {
+		t.Errorf("gcc flavor must use cmov:\n%s", gcc)
+	}
+	if !hasOp(icc, x64.Jcc) {
+		t.Errorf("icc flavor must use a branch:\n%s", icc)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	e := B(OpAdd, C(2, I32), B(OpMul, C(3, I32), C(4, I32)))
+	folded := fold(e)
+	c, ok := folded.(*Const)
+	if !ok || c.Val != 14 {
+		t.Fatalf("fold(2+3*4) = %#v, want Const 14", folded)
+	}
+	// Folding respects 32-bit wraparound.
+	e = B(OpAdd, C(0x7fffffff, I32), C(1, I32))
+	c = fold(e).(*Const)
+	if c.Val != -0x80000000 {
+		t.Fatalf("fold(int32 overflow) = %#x", c.Val)
+	}
+	// Division by zero does not fold (left to runtime semantics).
+	e = B(OpDivU, C(5, I32), C(0, I32))
+	if _, ok := fold(e).(*Const); ok {
+		t.Fatal("div by zero must not fold")
+	}
+}
+
+func TestEvalBinComparisons(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		x, y int64
+		want int64
+	}{
+		{OpUlt, -1, 1, 0}, // unsigned: 0xffffffff > 1
+		{OpSlt, -1, 1, 1}, // signed: -1 < 1
+		{OpUge, -1, 1, 1},
+		{OpSge, -1, 1, 0},
+		{OpEq, 7, 7, 1},
+		{OpNe, 7, 7, 0},
+		{OpAshr, -8, 1, -4},
+		{OpLshr, -8, 1, 0x7ffffffc},
+	}
+	for _, c := range cases {
+		got, ok := evalBin(c.op, c.x, c.y, I32)
+		if !ok || got != c.want {
+			t.Errorf("evalBin(%v, %d, %d) = %d, want %d", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestI64Compilation(t *testing.T) {
+	f := &Func{Name: "wide", Params: []Type{I64, I64}, Body: []Stmt{
+		&Return{X: B(OpXor, P(0, I64), B(OpShl, P(1, I64), C(17, I64)))},
+	}}
+	o0 := CompileO0(f)
+	o2 := CompileO2(f, FlavorGCC)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Uint64(), rng.Uint64()
+		want := x ^ y<<17
+		for _, p := range []*x64.Program{o0, o2} {
+			a := testgen.NewArena(0x10000)
+			a.AllocStack(1 << 10)
+			a.SetReg(x64.RDI, x)
+			a.SetReg(x64.RSI, y)
+			m := emu.New()
+			m.LoadSnapshot(a.Snapshot())
+			if out := m.Run(p); out.SigSegv+out.Undef > 0 {
+				t.Fatalf("faulted: %+v", out)
+			}
+			if got := m.RegValue(x64.RAX, 8); got != want {
+				t.Fatalf("wide(%#x,%#x) = %#x, want %#x", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestLoadStoreCompilation(t *testing.T) {
+	// *p = *p + 1 at offset 4.
+	f := &Func{Name: "bump", Params: []Type{I64}, Body: []Stmt{
+		&Store{Base: P(0, I64), Off: 4,
+			X: B(OpAdd, Ld(I32, P(0, I64), 4), C(1, I32))},
+	}}
+	for _, variant := range []*x64.Program{
+		CompileO0(f), CompileO2(f, FlavorGCC), CompileO2(f, FlavorICC),
+	} {
+		a := testgen.NewArena(0x20000)
+		a.AllocStack(1 << 10)
+		base := a.Alloc(8, func(i int) byte { return byte(i + 1) })
+		a.SetReg(x64.RDI, base)
+		m := emu.New()
+		m.LoadSnapshot(a.Snapshot())
+		if out := m.Run(variant); out.SigSegv+out.Undef > 0 {
+			t.Fatalf("faulted: %+v\n%s", out, variant)
+		}
+		var got uint32
+		for bt := 3; bt >= 0; bt-- {
+			bb, _, _ := m.MemByte(base + 4 + uint64(bt))
+			got = got<<8 | uint32(bb)
+		}
+		want := uint32(0x08070605) + 1
+		if got != want {
+			t.Fatalf("bump wrote %#x, want %#x\n%s", got, want, variant)
+		}
+	}
+}
+
+func TestTooManyParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 7 register parameters")
+		}
+	}()
+	f := &Func{Name: "seven", Params: []Type{I32, I32, I32, I32, I32, I32, I32},
+		Body: []Stmt{&Return{X: P(6, I32)}}}
+	CompileO0(f)
+}

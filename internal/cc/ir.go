@@ -1,0 +1,289 @@
+// Package cc is a miniature C-like expression compiler with two backends:
+// an -O0 backend that mimics llvm -O0's shape (every temporary spilled to a
+// stack slot, operands reloaded around every operation) and an -O3-style
+// backend (constant folding, register allocation, strength reduction,
+// conditional-move if-conversion). It manufactures the compiler baselines
+// the paper depends on: llvm -O0 binaries as STOKE targets, and gcc/icc -O3
+// sequences as comparators for Figure 10.
+package cc
+
+import "fmt"
+
+// Type is an integer value type.
+type Type uint8
+
+// Value types.
+const (
+	I32 Type = iota
+	I64
+)
+
+// Width returns the type's width in bytes.
+func (t Type) Width() uint8 {
+	if t == I64 {
+		return 8
+	}
+	return 4
+}
+
+// BinOp is a binary operator.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDivU
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLshr
+	OpAshr
+
+	// Comparisons produce 0 or 1 in the operand type.
+	OpEq
+	OpNe
+	OpUlt
+	OpUle
+	OpUgt
+	OpUge
+	OpSlt
+	OpSle
+	OpSgt
+	OpSge
+)
+
+func (op BinOp) isCmp() bool { return op >= OpEq }
+
+// UnOp is a unary operator.
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNot UnOp = iota
+	OpNeg
+)
+
+// Expr is an expression tree node.
+type Expr interface{ typ() Type }
+
+// Param references the i-th function parameter.
+type Param struct {
+	Index int
+	T     Type
+}
+
+// Const is an integer literal.
+type Const struct {
+	Val int64
+	T   Type
+}
+
+// VarRef references a Let-bound local.
+type VarRef struct {
+	Name string
+	T    Type
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// Sel is select(cond, a, b): a when cond is non-zero.
+type Sel struct {
+	Cond, A, B Expr
+}
+
+// Load reads memory at base+offset, where base is a pointer-typed (I64)
+// expression.
+type Load struct {
+	T    Type
+	Base Expr
+	Off  int32
+}
+
+func (e *Param) typ() Type  { return e.T }
+func (e *Const) typ() Type  { return e.T }
+func (e *VarRef) typ() Type { return e.T }
+func (e *Bin) typ() Type    { return e.X.typ() }
+func (e *Un) typ() Type     { return e.X.typ() }
+func (e *Sel) typ() Type    { return e.A.typ() }
+func (e *Load) typ() Type   { return e.T }
+
+// Stmt is a function-body statement.
+type Stmt interface{ isStmt() }
+
+// Let binds a local name to an expression value.
+type Let struct {
+	Name string
+	X    Expr
+}
+
+// Store writes an expression value to base+offset.
+type Store struct {
+	Base Expr
+	Off  int32
+	X    Expr
+}
+
+// Return sets the function result (delivered in rax/eax).
+type Return struct {
+	X Expr
+}
+
+func (*Let) isStmt()    {}
+func (*Store) isStmt()  {}
+func (*Return) isStmt() {}
+
+// Func is a compilable function.
+type Func struct {
+	Name   string
+	Params []Type
+	Body   []Stmt
+}
+
+// Convenience constructors keep the kernel definitions readable.
+
+// P returns the i-th parameter at the given type.
+func P(i int, t Type) Expr { return &Param{Index: i, T: t} }
+
+// C returns a constant of the given type.
+func C(v int64, t Type) Expr { return &Const{Val: v, T: t} }
+
+// V references a local.
+func V(name string, t Type) Expr { return &VarRef{Name: name, T: t} }
+
+// B applies a binary operator.
+func B(op BinOp, x, y Expr) Expr { return &Bin{Op: op, X: x, Y: y} }
+
+// U applies a unary operator.
+func U(op UnOp, x Expr) Expr { return &Un{Op: op, X: x} }
+
+// Select picks A when Cond is non-zero.
+func Select(cond, a, b Expr) Expr { return &Sel{Cond: cond, A: a, B: b} }
+
+// Ld loads from base+off.
+func Ld(t Type, base Expr, off int32) Expr { return &Load{T: t, Base: base, Off: off} }
+
+// argRegOrder is the System V integer argument register sequence.
+var argRegOrder = []string{"rdi", "rsi", "rdx", "rcx", "r8", "r9"}
+
+func argRegName(i int) string {
+	if i >= len(argRegOrder) {
+		panic(fmt.Sprintf("cc: parameter %d exceeds register arguments", i))
+	}
+	return argRegOrder[i]
+}
+
+// fold performs constant folding over an expression tree (the only IR-level
+// optimization; everything else lives in the backends).
+func fold(e Expr) Expr {
+	switch n := e.(type) {
+	case *Bin:
+		x, y := fold(n.X), fold(n.Y)
+		cx, okx := x.(*Const)
+		cy, oky := y.(*Const)
+		if okx && oky {
+			if v, ok := evalBin(n.Op, cx.Val, cy.Val, n.X.typ()); ok {
+				return &Const{Val: v, T: n.X.typ()}
+			}
+		}
+		return &Bin{Op: n.Op, X: x, Y: y}
+	case *Un:
+		x := fold(n.X)
+		if cx, ok := x.(*Const); ok {
+			switch n.Op {
+			case OpNot:
+				return &Const{Val: truncate(^cx.Val, n.X.typ()), T: n.X.typ()}
+			case OpNeg:
+				return &Const{Val: truncate(-cx.Val, n.X.typ()), T: n.X.typ()}
+			}
+		}
+		return &Un{Op: n.Op, X: x}
+	case *Sel:
+		return &Sel{Cond: fold(n.Cond), A: fold(n.A), B: fold(n.B)}
+	case *Load:
+		return &Load{T: n.T, Base: fold(n.Base), Off: n.Off}
+	}
+	return e
+}
+
+func truncate(v int64, t Type) int64 {
+	if t == I32 {
+		return int64(int32(v))
+	}
+	return v
+}
+
+func evalBin(op BinOp, x, y int64, t Type) (int64, bool) {
+	ux, uy := uint64(x), uint64(y)
+	if t == I32 {
+		ux, uy = uint64(uint32(x)), uint64(uint32(y))
+	}
+	bits := uint64(t.Width()) * 8
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return truncate(x+y, t), true
+	case OpSub:
+		return truncate(x-y, t), true
+	case OpMul:
+		return truncate(x*y, t), true
+	case OpDivU:
+		if uy == 0 {
+			return 0, false
+		}
+		return truncate(int64(ux/uy), t), true
+	case OpAnd:
+		return truncate(x&y, t), true
+	case OpOr:
+		return truncate(x|y, t), true
+	case OpXor:
+		return truncate(x^y, t), true
+	case OpShl:
+		return truncate(x<<(uy%bits), t), true
+	case OpLshr:
+		return truncate(int64(ux>>(uy%bits)), t), true
+	case OpAshr:
+		if t == I32 {
+			return int64(int32(x) >> (uy % bits)), true
+		}
+		return x >> (uy % bits), true
+	case OpEq:
+		return b2i(ux == uy), true
+	case OpNe:
+		return b2i(ux != uy), true
+	case OpUlt:
+		return b2i(ux < uy), true
+	case OpUle:
+		return b2i(ux <= uy), true
+	case OpUgt:
+		return b2i(ux > uy), true
+	case OpUge:
+		return b2i(ux >= uy), true
+	case OpSlt:
+		return b2i(truncate(x, t) < truncate(y, t)), true
+	case OpSle:
+		return b2i(truncate(x, t) <= truncate(y, t)), true
+	case OpSgt:
+		return b2i(truncate(x, t) > truncate(y, t)), true
+	case OpSge:
+		return b2i(truncate(x, t) >= truncate(y, t)), true
+	}
+	return 0, false
+}

@@ -1,0 +1,191 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/x64"
+)
+
+// CompileO0 lowers f in the shape of llvm -O0: every parameter is spilled
+// to a stack slot on entry, every temporary lives in a stack slot, and every
+// operation reloads its operands from the stack and stores its result back.
+// This reproduces the stack-traffic-heavy targets the paper starts from
+// ("binaries compiled by llvm -O0 ... which exhibits heavy stack traffic",
+// §5.2).
+func CompileO0(f *Func) *x64.Program {
+	g := &o0gen{slots: map[string]int32{}}
+	// Spill parameters.
+	for i, t := range f.Params {
+		r, _, _, _ := x64.LookupReg(argRegName(i))
+		slot := g.newSlot()
+		g.emit(x64.MakeInst(x64.MOV,
+			x64.R(r, t.Width()), x64.Mem(x64.RSP, slot, t.Width())))
+		g.slots[paramName(i)] = slot
+	}
+	for _, st := range f.Body {
+		switch s := st.(type) {
+		case *Let:
+			g.slots[s.Name] = g.expr(s.X)
+		case *Store:
+			vSlot := g.expr(s.X)
+			bSlot := g.expr(s.Base)
+			w := s.X.typ().Width()
+			g.loadSlot(bSlot, x64.RCX, 8)
+			g.loadSlot(vSlot, x64.RAX, w)
+			g.emit(x64.MakeInst(x64.MOV, x64.R(x64.RAX, w), x64.Mem(x64.RCX, s.Off, w)))
+		case *Return:
+			slot := g.expr(s.X)
+			g.loadSlot(slot, x64.RAX, s.X.typ().Width())
+		}
+	}
+	p := &x64.Program{Insts: g.prog}
+	if err := p.Validate(); err != nil {
+		panic("cc: O0 emitted invalid code: " + err.Error())
+	}
+	return p
+}
+
+func paramName(i int) string { return fmt.Sprintf("$param%d", i) }
+
+type o0gen struct {
+	prog  []x64.Inst
+	slots map[string]int32
+	next  int32
+}
+
+func (g *o0gen) emit(in x64.Inst) { g.prog = append(g.prog, in) }
+
+func (g *o0gen) newSlot() int32 {
+	g.next -= 8
+	return g.next
+}
+
+func (g *o0gen) loadSlot(slot int32, r x64.Reg, w uint8) {
+	g.emit(x64.MakeInst(x64.MOV, x64.Mem(x64.RSP, slot, w), x64.R(r, w)))
+}
+
+func (g *o0gen) storeNew(r x64.Reg, w uint8) int32 {
+	slot := g.newSlot()
+	g.emit(x64.MakeInst(x64.MOV, x64.R(r, w), x64.Mem(x64.RSP, slot, w)))
+	return slot
+}
+
+// expr compiles e and returns the stack slot holding its value.
+func (g *o0gen) expr(e Expr) int32 {
+	w := e.typ().Width()
+	switch n := e.(type) {
+	case *Param:
+		return g.slots[paramName(n.Index)]
+	case *VarRef:
+		slot, ok := g.slots[n.Name]
+		if !ok {
+			panic("cc: unbound local " + n.Name)
+		}
+		return slot
+	case *Const:
+		if n.T == I64 && (n.Val > 1<<31-1 || n.Val < -(1<<31)) {
+			g.emit(x64.MakeInst(x64.MOVABS, x64.Imm(n.Val, 8), x64.R64(x64.RAX)))
+		} else {
+			g.emit(x64.MakeInst(x64.MOV, x64.Imm(n.Val, w), x64.R(x64.RAX, w)))
+		}
+		return g.storeNew(x64.RAX, w)
+	case *Un:
+		slot := g.expr(n.X)
+		g.loadSlot(slot, x64.RAX, w)
+		switch n.Op {
+		case OpNot:
+			g.emit(x64.MakeInst(x64.NOT, x64.R(x64.RAX, w)))
+		case OpNeg:
+			g.emit(x64.MakeInst(x64.NEG, x64.R(x64.RAX, w)))
+		}
+		return g.storeNew(x64.RAX, w)
+	case *Load:
+		bSlot := g.expr(n.Base)
+		g.loadSlot(bSlot, x64.RCX, 8)
+		g.emit(x64.MakeInst(x64.MOV, x64.Mem(x64.RCX, n.Off, w), x64.R(x64.RAX, w)))
+		return g.storeNew(x64.RAX, w)
+	case *Sel:
+		cSlot := g.expr(n.Cond)
+		aSlot := g.expr(n.A)
+		bSlot := g.expr(n.B)
+		cw := n.Cond.typ().Width()
+		g.loadSlot(cSlot, x64.RAX, cw)
+		g.emit(x64.MakeInst(x64.TEST, x64.R(x64.RAX, cw), x64.R(x64.RAX, cw)))
+		g.loadSlot(bSlot, x64.RAX, w)
+		g.loadSlot(aSlot, x64.RCX, w)
+		g.emit(x64.MakeCCInst(x64.CMOVcc, x64.CondNE, x64.R(x64.RCX, w), x64.R(x64.RAX, w)))
+		return g.storeNew(x64.RAX, w)
+	case *Bin:
+		return g.bin(n, w)
+	}
+	panic("cc: unknown expression")
+}
+
+func (g *o0gen) bin(n *Bin, w uint8) int32 {
+	xSlot := g.expr(n.X)
+	ySlot := g.expr(n.Y)
+	g.loadSlot(xSlot, x64.RAX, w)
+	g.loadSlot(ySlot, x64.RCX, w)
+
+	two := func(op x64.Opcode) {
+		g.emit(x64.MakeInst(op, x64.R(x64.RCX, w), x64.R(x64.RAX, w)))
+	}
+	switch n.Op {
+	case OpAdd:
+		two(x64.ADD)
+	case OpSub:
+		two(x64.SUB)
+	case OpMul:
+		two(x64.IMUL)
+	case OpAnd:
+		two(x64.AND)
+	case OpOr:
+		two(x64.OR)
+	case OpXor:
+		two(x64.XOR)
+	case OpDivU:
+		// Unsigned divide of RDX:RAX by RCX; RDX must be zeroed first.
+		g.emit(x64.MakeInst(x64.MOV, x64.Imm(0, w), x64.R(x64.RDX, w)))
+		g.emit(x64.MakeInst(x64.DIV, x64.R(x64.RCX, w)))
+	case OpShl, OpLshr, OpAshr:
+		op := map[BinOp]x64.Opcode{OpShl: x64.SHL, OpLshr: x64.SHR, OpAshr: x64.SAR}[n.Op]
+		if c, ok := n.Y.(*Const); ok {
+			g.emit(x64.MakeInst(op, x64.Imm(c.Val, w), x64.R(x64.RAX, w)))
+		} else {
+			g.emit(x64.MakeInst(op, x64.R8L(x64.RCX), x64.R(x64.RAX, w)))
+		}
+	default: // comparisons
+		g.emit(x64.MakeInst(x64.CMP, x64.R(x64.RCX, w), x64.R(x64.RAX, w)))
+		g.emit(x64.MakeCCInst(x64.SETcc, ccOf(n.Op), x64.R8L(x64.RAX)))
+		g.emit(x64.MakeInst(x64.MOVZX, x64.R8L(x64.RAX), x64.R(x64.RAX, w)))
+	}
+	return g.storeNew(x64.RAX, w)
+}
+
+// ccOf maps a comparison operator (x OP y, flags from cmp y, x) to the
+// condition code.
+func ccOf(op BinOp) x64.Cond {
+	switch op {
+	case OpEq:
+		return x64.CondE
+	case OpNe:
+		return x64.CondNE
+	case OpUlt:
+		return x64.CondB
+	case OpUle:
+		return x64.CondBE
+	case OpUgt:
+		return x64.CondA
+	case OpUge:
+		return x64.CondAE
+	case OpSlt:
+		return x64.CondL
+	case OpSle:
+		return x64.CondLE
+	case OpSgt:
+		return x64.CondG
+	case OpSge:
+		return x64.CondGE
+	}
+	panic("cc: not a comparison")
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	target := MustParse(`
+  movq rdi, -8(rsp)
+  movq rsi, -16(rsp)
+  movq -8(rsp), rax
+  addq -16(rsp), rax
+`)
+	kernel := NewKernel("add", target,
+		WithInputs(RDI, RSI),
+		WithOutput64(RAX))
+
+	report, err := Optimize(kernel, Options{
+		Seed:           11,
+		SynthChains:    2,
+		OptChains:      3,
+		SynthProposals: 30000,
+		OptProposals:   150000,
+		Ell:            12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict == verify.NotEqual {
+		t.Fatalf("unvalidated rewrite:\n%s", report.Rewrite)
+	}
+	if report.Rewrite.InstCount() >= target.InstCount() {
+		t.Errorf("no optimization: %d -> %d insts",
+			target.InstCount(), report.Rewrite.InstCount())
+	}
+	if res := Equivalent(target, report.Rewrite, RAX); res.Verdict != verify.Equal {
+		t.Errorf("standalone equivalence check: %v", res.Verdict)
+	}
+}
+
+func TestEquivalentHelper(t *testing.T) {
+	a := MustParse("movq rdi, rax\naddq rsi, rax")
+	b := MustParse("leaq (rdi,rsi), rax")
+	if res := Equivalent(a, b, RAX); res.Verdict != verify.Equal {
+		t.Errorf("lea rewrite: %v", res.Verdict)
+	}
+	c := MustParse("movq rdi, rax\nsubq rsi, rax")
+	if res := Equivalent(a, c, RAX); res.Verdict != verify.NotEqual {
+		t.Errorf("sub vs add: %v", res.Verdict)
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	all := Benchmarks()
+	if len(all) != 28 {
+		t.Fatalf("suite has %d kernels, want 28", len(all))
+	}
+	mont, err := Benchmark("mont")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mont.PaperRewrite.InstCount() != 11 {
+		t.Errorf("paper's mont rewrite has %d insts, want 11", mont.PaperRewrite.InstCount())
+	}
+	if _, err := Benchmark("p99"); err == nil ||
+		!strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown benchmark must error, got %v", err)
+	}
+}
+
+func TestWithInputs32(t *testing.T) {
+	target := MustParse("movl edi, eax\nnotl eax")
+	k := NewKernel("not32", target, WithInputs32(RDI), WithOutput32(RAX))
+	rep, err := Optimize(k, Options{
+		Seed: 5, SynthChains: 1, OptChains: 1,
+		SynthProposals: 2000, OptProposals: 10000, Ell: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == verify.NotEqual {
+		t.Fatalf("unvalidated rewrite:\n%s", rep.Rewrite)
+	}
+}

@@ -1,0 +1,248 @@
+// Package cost implements the paper's cost functions (§3.1, §4.1–4.6).
+//
+// The total cost of a candidate rewrite is
+//
+//	c(R;T) = eq'(R;T,τ) + perfWeight · H(R)
+//
+// where eq' is the testcase approximation of transformation correctness
+// (Equation 8): per testcase, the Hamming distance between the rewrite's
+// live outputs and the target's (Equations 9, 10, 15), plus weighted error
+// counters for sandbox faults, divide faults and undefined reads (Equation
+// 11). H is the static latency sum of Equation 13. Two sign conventions in
+// the paper are normalised here: perf(R;T) is charged as +H(R) (dropping
+// the constant H(T), which cannot affect the argmin, and orienting the term
+// so faster code costs less), and the Metropolis acceptance uses the
+// standard difference form exp(-β(c(R*)-c(R))), which is the form the
+// paper's early-termination bound (Equation 14) is derived from.
+package cost
+
+import (
+	"math/bits"
+
+	"repro/internal/emu"
+	"repro/internal/perf"
+	"repro/internal/testgen"
+	"repro/internal/x64"
+)
+
+// Mode selects between the strict register/memory equality of Equations
+// 9-10 and the improved "right value, wrong place" metric of Equation 15
+// (§4.6, the ablation of Figure 7).
+type Mode int
+
+// Equality metric modes.
+const (
+	Strict Mode = iota
+	Improved
+)
+
+// Weights are the error-term and misplacement weights (Figure 11).
+type Weights struct {
+	SegFault   float64 // wsf
+	FloatFault float64 // wfp
+	UndefRead  float64 // wur
+	Misplace   float64 // wm
+}
+
+// PaperWeights are the constants from Figure 11.
+var PaperWeights = Weights{SegFault: 1, FloatFault: 1, UndefRead: 2, Misplace: 3}
+
+// Fn evaluates candidate rewrites against a testcase set. An Fn owns an
+// emulator and is not safe for concurrent use; each search thread builds its
+// own (sharing the read-only testcases).
+type Fn struct {
+	Tests []testgen.Testcase
+	Live  testgen.LiveSet
+	Mode  Mode
+	W     Weights
+
+	// PerfWeight scales the performance term: 0 during synthesis (§4.4),
+	// 1 during optimization.
+	PerfWeight float64
+
+	m *emu.Machine
+}
+
+// New builds a cost function over the given testcases.
+func New(tests []testgen.Testcase, live testgen.LiveSet, mode Mode, perfWeight float64) *Fn {
+	return &Fn{
+		Tests:      tests,
+		Live:       live,
+		Mode:       mode,
+		W:          PaperWeights,
+		PerfWeight: perfWeight,
+		m:          emu.New(),
+	}
+}
+
+// Result reports one evaluation.
+type Result struct {
+	Cost float64
+	// EqCost is the testcase-equality portion of Cost (zero means the
+	// rewrite agreed with the target on every testcase).
+	EqCost float64
+	// TestsRun counts testcases evaluated before early termination — the
+	// quantity plotted in Figure 5.
+	TestsRun int
+	// Early reports that evaluation stopped because Cost exceeded the
+	// caller's bound (Equation 14), guaranteeing rejection.
+	Early bool
+}
+
+// MaxBudget disables early termination.
+const MaxBudget = 1e18
+
+// Eval computes the cost of p, stopping early once the running total
+// exceeds budget (the caller's maximum acceptable cost per Equation 14).
+func (f *Fn) Eval(p *x64.Program, budget float64) Result {
+	var res Result
+	if f.PerfWeight != 0 {
+		res.Cost = f.PerfWeight * perf.H(p)
+		if res.Cost > budget {
+			res.Early = true
+			return res
+		}
+	}
+	for i := range f.Tests {
+		tc := &f.Tests[i]
+		res.EqCost += f.evalOne(p, tc)
+		res.TestsRun++
+		if res.Cost+res.EqCost > budget {
+			res.Cost += res.EqCost
+			res.Early = true
+			return res
+		}
+	}
+	res.Cost += res.EqCost
+	return res
+}
+
+// evalOne runs p on one testcase and scores its live outputs.
+func (f *Fn) evalOne(p *x64.Program, tc *testgen.Testcase) float64 {
+	f.m.LoadSnapshot(tc.In)
+	out := f.m.Run(p)
+
+	c := f.W.SegFault*float64(out.SigSegv) +
+		f.W.FloatFault*float64(out.SigFpe) +
+		f.W.UndefRead*float64(out.Undef)
+	if out.Exhaust {
+		// A sequence that exhausts the step budget cannot be scored
+		// meaningfully; charge it like a fault.
+		c += f.W.SegFault
+	}
+
+	// Live register outputs (Equations 9 / 15).
+	for li, lr := range f.Live.GPRs {
+		want := tc.WantGPR[li]
+		c += f.regCost(want, lr)
+	}
+	for li, xr := range f.Live.Xmms {
+		c += f.xmmCost(tc.WantXmm[li], xr)
+	}
+
+	// Live flags: one bit each.
+	if f.Live.Flags != 0 {
+		got := f.m.Flags & f.Live.Flags
+		c += float64(bits.OnesCount8(uint8(got ^ tc.WantFlags)))
+	}
+
+	// Live memory outputs (Equation 10 and its improved analogue).
+	c += f.memCost(tc)
+	return c
+}
+
+// regCost scores one live GPR output.
+func (f *Fn) regCost(want uint64, lr testgen.LiveReg) float64 {
+	mask := widthMask(lr.Width)
+	correct := float64(bits.OnesCount64((want ^ f.m.Regs[lr.Reg]) & mask))
+	if f.Mode == Strict {
+		return correct
+	}
+	// Improved metric (Equation 15): the best-matching register of the
+	// same bit width, with a misplacement penalty when it is not the right
+	// one.
+	best := correct
+	for r := x64.Reg(0); r < x64.NumGPR; r++ {
+		if r == lr.Reg {
+			continue
+		}
+		d := float64(bits.OnesCount64((want^f.m.Regs[r])&mask)) + f.W.Misplace
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// xmmCost scores one live XMM output.
+func (f *Fn) xmmCost(want [2]uint64, xr x64.Reg) float64 {
+	ham := func(v [2]uint64) float64 {
+		return float64(bits.OnesCount64(want[0]^v[0]) + bits.OnesCount64(want[1]^v[1]))
+	}
+	correct := ham(f.m.Xmm[xr])
+	if f.Mode == Strict {
+		return correct
+	}
+	best := correct
+	for r := x64.Reg(0); r < x64.NumXMM; r++ {
+		if r == xr {
+			continue
+		}
+		d := ham(f.m.Xmm[r]) + f.W.Misplace
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// memCost scores the live memory outputs of one testcase.
+func (f *Fn) memCost(tc *testgen.Testcase) float64 {
+	if len(tc.WantMem) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, mc := range tc.WantMem {
+		got, _, ok := f.m.MemByte(mc.Addr)
+		var correct float64
+		if ok {
+			correct = float64(bits.OnesCount8(got ^ mc.Want))
+		} else {
+			correct = 8
+		}
+		if f.Mode == Strict {
+			total += correct
+			continue
+		}
+		// Improved analogue of Equation 15 for memory: accept the right
+		// byte at another live memory location, at a misplacement penalty.
+		best := correct
+		for _, other := range tc.WantMem {
+			if other.Addr == mc.Addr {
+				continue
+			}
+			g, _, ok := f.m.MemByte(other.Addr)
+			if !ok {
+				continue
+			}
+			d := float64(bits.OnesCount8(g^mc.Want)) + f.W.Misplace
+			if d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func widthMask(w uint8) uint64 {
+	switch w {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	case 4:
+		return 0xffffffff
+	}
+	return ^uint64(0)
+}

@@ -1,0 +1,214 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/testgen"
+	"repro/internal/x64"
+)
+
+// figure6Testcase reconstructs the worked example of Figure 6: a machine
+// whose live output is the low byte of RAX (al), with target value 0b1111.
+func figure6Testcase() ([]testgen.Testcase, testgen.LiveSet) {
+	in := &emu.Snapshot{FlagsDef: x64.AllFlags}
+	in.RegDef = 0xffff
+	tc := testgen.Testcase{In: in, WantGPR: []uint64{0x0f}}
+	live := testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 1}}}
+	return []testgen.Testcase{tc}, live
+}
+
+// figure6Rewrite produces the rewrite of Figure 6: the correct value lands
+// in dl while al is entirely wrong; bl and cl hold near misses.
+var figure6Rewrite = x64.MustParse(`
+  movb 0, al
+  movb 8, bl
+  movb 12, cl
+  movb 15, dl
+`)
+
+func TestFigure6StrictVsImproved(t *testing.T) {
+	tests, live := figure6Testcase()
+
+	strict := New(tests, live, Strict, 0)
+	if got := strict.Eval(figure6Rewrite, MaxBudget).Cost; got != 4 {
+		t.Errorf("strict cost = %v, want 4 (all bits of al wrong)", got)
+	}
+
+	improved := New(tests, live, Improved, 0)
+	improved.W.Misplace = 1 // the figure's arithmetic uses wm = 1
+	if got := improved.Eval(figure6Rewrite, MaxBudget).Cost; got != 1 {
+		t.Errorf("improved cost = %v, want min(4, 3+1, 2+1, 0+1) = 1", got)
+	}
+
+	paper := New(tests, live, Improved, 0) // wm = 3 per Figure 11
+	if got := paper.Eval(figure6Rewrite, MaxBudget).Cost; got != 3 {
+		t.Errorf("improved cost with wm=3 = %v, want 3", got)
+	}
+}
+
+func TestZeroCostForTarget(t *testing.T) {
+	target := x64.MustParse(`
+  movq rdi, rax
+  addq rsi, rax
+`)
+	spec := testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x10000)
+			a.SetReg(x64.RDI, rng.Uint64())
+			a.SetReg(x64.RSI, rng.Uint64())
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}},
+	}
+	tests, err := testgen.Generate(target, spec, 32, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(tests, spec.LiveOut, Improved, 0)
+	if got := f.Eval(target, MaxBudget); got.Cost != 0 || got.EqCost != 0 {
+		t.Fatalf("target against itself costs %v, want 0", got.Cost)
+	}
+
+	// A semantically equal but syntactically different rewrite also
+	// reaches zero.
+	rewrite := x64.MustParse(`
+  leaq (rdi,rsi), rax
+`)
+	if got := f.Eval(rewrite, MaxBudget); got.Cost != 0 {
+		t.Fatalf("lea rewrite costs %v, want 0", got.Cost)
+	}
+
+	// A wrong rewrite costs more.
+	wrong := x64.MustParse(`
+  movq rdi, rax
+  subq rsi, rax
+`)
+	if got := f.Eval(wrong, MaxBudget); got.Cost == 0 {
+		t.Fatal("wrong rewrite costs 0")
+	}
+}
+
+func TestErrTermCountsUndefinedReads(t *testing.T) {
+	tests, live := figure6Testcase()
+	// Mark every register undefined in the input.
+	tests[0].In.RegDef = 0
+	f := New(tests, live, Strict, 0)
+	// This rewrite reads undefined rbx once per testcase.
+	p := x64.MustParse("movq rbx, rax")
+	got := f.Eval(p, MaxBudget)
+	// Cost includes wur * 1 undef plus the Hamming distance of al.
+	if got.Cost < f.W.UndefRead {
+		t.Fatalf("cost %v must include undef penalty %v", got.Cost, f.W.UndefRead)
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	target := x64.MustParse("movq rdi, rax")
+	spec := testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x10000)
+			a.SetReg(x64.RDI, rng.Uint64())
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}},
+	}
+	tests, err := testgen.Generate(target, spec, 32, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(tests, spec.LiveOut, Strict, 0)
+	// A rewrite that leaves rax at an arbitrary value scores ~32 bits per
+	// testcase; with a budget of 50 only a couple of testcases run.
+	bad := x64.MustParse("movq 0, rax")
+	res := f.Eval(bad, 50)
+	if !res.Early {
+		t.Fatal("expected early termination")
+	}
+	if res.TestsRun >= len(tests) {
+		t.Fatalf("TestsRun = %d, want < %d", res.TestsRun, len(tests))
+	}
+	// Without a budget all testcases run.
+	res = f.Eval(bad, MaxBudget)
+	if res.Early || res.TestsRun != len(tests) {
+		t.Fatalf("full eval: %+v", res)
+	}
+}
+
+func TestPerfTermOrdersPrograms(t *testing.T) {
+	tests, live := figure6Testcase()
+	f := New(tests, live, Improved, 1)
+	short := x64.MustParse("movb 15, al")
+	long := x64.MustParse(`
+  movb 0, al
+  movb 15, bl
+  movb bl, al
+`)
+	cs := f.Eval(short, MaxBudget).Cost
+	cl := f.Eval(long, MaxBudget).Cost
+	if cs >= cl {
+		t.Fatalf("short program must cost less: %v vs %v", cs, cl)
+	}
+	// Both are correct, so with PerfWeight 0 they tie at zero.
+	g := New(tests, live, Improved, 0)
+	if g.Eval(short, MaxBudget).Cost != 0 || g.Eval(long, MaxBudget).Cost != 0 {
+		t.Fatal("eq-only cost of correct rewrites must be 0")
+	}
+}
+
+func TestMemCostStrictAndImproved(t *testing.T) {
+	// Target writes 0xff to [rdi]; rewrite writes it to [rdi+1] instead.
+	target := x64.MustParse("movb 0xff, (rdi)\nmovb 0, 1(rdi)")
+	spec := testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x20000)
+			base := a.Alloc(2, func(int) byte { return 0 })
+			a.SetReg(x64.RDI, base)
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{LiveSegs: []int{0}},
+	}
+	tests, err := testgen.Generate(target, spec, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := x64.MustParse("movb 0, (rdi)\nmovb 0xff, 1(rdi)")
+
+	strict := New(tests, spec.LiveOut, Strict, 0)
+	improved := New(tests, spec.LiveOut, Improved, 0)
+	cs := strict.Eval(swapped, MaxBudget).Cost
+	ci := improved.Eval(swapped, MaxBudget).Cost
+	if cs <= ci {
+		t.Fatalf("improved (%v) must beat strict (%v) for misplaced bytes", ci, cs)
+	}
+	if ci != float64(len(tests))*2*improved.W.Misplace {
+		t.Fatalf("improved cost = %v, want 2*wm per testcase", ci)
+	}
+}
+
+func TestLiveFlagsCost(t *testing.T) {
+	target := x64.MustParse("cmpq rsi, rdi")
+	spec := testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x10000)
+			a.SetReg(x64.RDI, uint64(rng.Intn(4)))
+			a.SetReg(x64.RSI, uint64(rng.Intn(4)))
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{Flags: x64.ZF},
+	}
+	tests, err := testgen.Generate(target, spec, 16, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(tests, spec.LiveOut, Strict, 0)
+	if got := f.Eval(target, MaxBudget).Cost; got != 0 {
+		t.Fatalf("target flag cost = %v", got)
+	}
+	// An inverted comparison disagrees on ZF whenever rdi != rsi.
+	inverted := x64.MustParse("cmpq rdi, rdi")
+	if got := f.Eval(inverted, MaxBudget).Cost; got == 0 {
+		t.Fatal("always-equal comparison must cost > 0")
+	}
+}

@@ -1,0 +1,224 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/x64"
+)
+
+// lanes32 splits a 128-bit register into four 32-bit lanes.
+func lanes32(v [2]uint64) [4]uint32 {
+	return [4]uint32{
+		uint32(v[0]), uint32(v[0] >> 32),
+		uint32(v[1]), uint32(v[1] >> 32),
+	}
+}
+
+func fromLanes32(l [4]uint32) [2]uint64 {
+	return [2]uint64{
+		uint64(l[0]) | uint64(l[1])<<32,
+		uint64(l[2]) | uint64(l[3])<<32,
+	}
+}
+
+// lanes16 splits a 128-bit register into eight 16-bit lanes.
+func lanes16(v [2]uint64) [8]uint16 {
+	var l [8]uint16
+	for i := 0; i < 4; i++ {
+		l[i] = uint16(v[0] >> (16 * i))
+		l[i+4] = uint16(v[1] >> (16 * i))
+	}
+	return l
+}
+
+func fromLanes16(l [8]uint16) [2]uint64 {
+	var v [2]uint64
+	for i := 0; i < 4; i++ {
+		v[0] |= uint64(l[i]) << (16 * i)
+		v[1] |= uint64(l[i+4]) << (16 * i)
+	}
+	return v
+}
+
+// readXmmOrMem reads a 128-bit source operand.
+func (m *Machine) readXmmOrMem(o x64.Operand) [2]uint64 {
+	if o.Kind == x64.KindXmm {
+		return m.readXmm(o.Reg)
+	}
+	addr := m.effectiveAddr(o)
+	var buf [16]byte
+	m.loadBytes(addr, 16, buf[:])
+	var v [2]uint64
+	for i := 0; i < 8; i++ {
+		v[0] |= uint64(buf[i]) << (8 * i)
+		v[1] |= uint64(buf[8+i]) << (8 * i)
+	}
+	return v
+}
+
+func (m *Machine) writeXmmMem(o x64.Operand, v [2]uint64) {
+	addr := m.effectiveAddr(o)
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v[0] >> (8 * i))
+		buf[8+i] = byte(v[1] >> (8 * i))
+	}
+	m.storeBytes(addr, 16, buf[:])
+}
+
+// execSSE interprets the fixed-point SSE subset.
+func (m *Machine) execSSE(in *x64.Inst) {
+	switch in.Op {
+	case x64.MOVD:
+		m.execMovGX(in, 4)
+	case x64.MOVQX:
+		m.execMovGX(in, 8)
+
+	case x64.MOVUPS, x64.MOVAPS:
+		src := in.Opd[0]
+		dst := in.Opd[1]
+		var v [2]uint64
+		if src.Kind == x64.KindXmm {
+			v = m.readXmm(src.Reg)
+		} else {
+			v = m.readXmmOrMem(src)
+		}
+		if dst.Kind == x64.KindXmm {
+			m.writeXmm(dst.Reg, v)
+		} else {
+			m.writeXmmMem(dst, v)
+		}
+
+	case x64.SHUFPS:
+		imm := uint8(in.Opd[0].Imm)
+		src := lanes32(m.readXmm(in.Opd[1].Reg))
+		dst := lanes32(m.readXmm(in.Opd[2].Reg))
+		var out [4]uint32
+		out[0] = dst[imm>>0&3]
+		out[1] = dst[imm>>2&3]
+		out[2] = src[imm>>4&3]
+		out[3] = src[imm>>6&3]
+		m.writeXmm(in.Opd[2].Reg, fromLanes32(out))
+
+	case x64.PSHUFD:
+		imm := uint8(in.Opd[0].Imm)
+		src := lanes32(m.readXmm(in.Opd[1].Reg))
+		var out [4]uint32
+		for i := 0; i < 4; i++ {
+			out[i] = src[imm>>(2*i)&3]
+		}
+		m.writeXmm(in.Opd[2].Reg, fromLanes32(out))
+
+	case x64.PADDW, x64.PSUBW, x64.PMULLW:
+		a := lanes16(m.readXmmOrMem(in.Opd[0]))
+		b := lanes16(m.readXmm(in.Opd[1].Reg))
+		var out [8]uint16
+		for i := range out {
+			switch in.Op {
+			case x64.PADDW:
+				out[i] = b[i] + a[i]
+			case x64.PSUBW:
+				out[i] = b[i] - a[i]
+			case x64.PMULLW:
+				out[i] = b[i] * a[i]
+			}
+		}
+		m.writeXmm(in.Opd[1].Reg, fromLanes16(out))
+
+	case x64.PADDD, x64.PSUBD, x64.PMULLD:
+		a := lanes32(m.readXmmOrMem(in.Opd[0]))
+		b := lanes32(m.readXmm(in.Opd[1].Reg))
+		var out [4]uint32
+		for i := range out {
+			switch in.Op {
+			case x64.PADDD:
+				out[i] = b[i] + a[i]
+			case x64.PSUBD:
+				out[i] = b[i] - a[i]
+			case x64.PMULLD:
+				out[i] = b[i] * a[i]
+			}
+		}
+		m.writeXmm(in.Opd[1].Reg, fromLanes32(out))
+
+	case x64.PADDQ:
+		a := m.readXmmOrMem(in.Opd[0])
+		b := m.readXmm(in.Opd[1].Reg)
+		m.writeXmm(in.Opd[1].Reg, [2]uint64{b[0] + a[0], b[1] + a[1]})
+
+	case x64.PAND, x64.POR, x64.PXOR:
+		// pxor x, x is the vector zero idiom: defined regardless of x.
+		if in.Op == x64.PXOR && in.Opd[0].Kind == x64.KindXmm &&
+			in.Opd[0].Reg == in.Opd[1].Reg {
+			m.writeXmm(in.Opd[1].Reg, [2]uint64{0, 0})
+			return
+		}
+		a := m.readXmmOrMem(in.Opd[0])
+		b := m.readXmm(in.Opd[1].Reg)
+		var v [2]uint64
+		switch in.Op {
+		case x64.PAND:
+			v = [2]uint64{a[0] & b[0], a[1] & b[1]}
+		case x64.POR:
+			v = [2]uint64{a[0] | b[0], a[1] | b[1]}
+		case x64.PXOR:
+			v = [2]uint64{a[0] ^ b[0], a[1] ^ b[1]}
+		}
+		m.writeXmm(in.Opd[1].Reg, v)
+
+	case x64.PSLLD, x64.PSRLD:
+		c := uint64(in.Opd[0].Imm)
+		a := lanes32(m.readXmm(in.Opd[1].Reg))
+		var out [4]uint32
+		if c < 32 {
+			for i := range out {
+				if in.Op == x64.PSLLD {
+					out[i] = a[i] << c
+				} else {
+					out[i] = a[i] >> c
+				}
+			}
+		}
+		m.writeXmm(in.Opd[1].Reg, fromLanes32(out))
+
+	case x64.PSLLQ, x64.PSRLQ:
+		c := uint64(in.Opd[0].Imm)
+		a := m.readXmm(in.Opd[1].Reg)
+		var out [2]uint64
+		if c < 64 {
+			for i := range out {
+				if in.Op == x64.PSLLQ {
+					out[i] = a[i] << c
+				} else {
+					out[i] = a[i] >> c
+				}
+			}
+		}
+		m.writeXmm(in.Opd[1].Reg, out)
+
+	default:
+		panic(fmt.Sprintf("emu: unimplemented opcode %v", in.Op))
+	}
+}
+
+// execMovGX implements movd/movq between GPRs, memory and XMM registers.
+func (m *Machine) execMovGX(in *x64.Inst, w uint8) {
+	src, dst := in.Opd[0], in.Opd[1]
+	switch {
+	case dst.Kind == x64.KindXmm && src.Kind != x64.KindXmm:
+		v := m.readOperand(src)
+		m.writeXmm(dst.Reg, [2]uint64{v & widthMask(w), 0})
+	case dst.Kind != x64.KindXmm && src.Kind == x64.KindXmm:
+		v := m.readXmm(src.Reg)
+		if dst.Kind == x64.KindReg {
+			// movd/movq to a GPR zero-extends to 64 bits.
+			m.writeGPR(dst.Reg, 8, v[0]&widthMask(w))
+		} else {
+			m.writeOperand(dst, v[0]&widthMask(w))
+		}
+	default:
+		// xmm to xmm via movq clears the upper lane.
+		v := m.readXmm(src.Reg)
+		m.writeXmm(dst.Reg, [2]uint64{v[0] & widthMask(w), 0})
+	}
+}

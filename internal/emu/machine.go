@@ -1,0 +1,397 @@
+// Package emu implements a sandboxed interpreter for the x64 subset ISA.
+//
+// It plays the role of the hardware emulator in §4.1 of the paper: candidate
+// rewrites are run against testcases at high throughput, and the three
+// classes of undefined behaviour the cost function penalises are trapped and
+// counted rather than allowed to crash the process — dereferences outside
+// the sandbox (sigsegv), divide faults (sigfpe), and reads from undefined
+// registers, flags or memory (undef). Invalid dereferences read as constant
+// zero and invalid stores are dropped, exactly as described in §5.1.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/x64"
+)
+
+// MemImage describes one contiguous memory segment of a testcase: its
+// contents, which bytes hold defined data, and which bytes are inside the
+// sandbox (dereferenceable because the target dereferenced them).
+type MemImage struct {
+	Base  uint64
+	Data  []byte
+	Def   []bool
+	Valid []bool
+}
+
+// Clone returns a deep copy of the image.
+func (im MemImage) Clone() MemImage {
+	out := MemImage{Base: im.Base}
+	out.Data = append([]byte(nil), im.Data...)
+	out.Def = append([]bool(nil), im.Def...)
+	out.Valid = append([]bool(nil), im.Valid...)
+	return out
+}
+
+// Snapshot is a complete initial machine state: a testcase input in the
+// sense of §5.1 (registers, flags, and the first-dereferenced memory values
+// recorded by instrumentation).
+type Snapshot struct {
+	Regs     [x64.NumGPR]uint64
+	RegDef   uint16 // bitset: which registers hold defined data
+	Xmm      [x64.NumXMM][2]uint64
+	XmmDef   uint16
+	Flags    x64.FlagSet
+	FlagsDef x64.FlagSet
+	Mem      []MemImage
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	out := *s
+	out.Mem = make([]MemImage, len(s.Mem))
+	for i, im := range s.Mem {
+		out.Mem[i] = im.Clone()
+	}
+	return &out
+}
+
+// segment is the machine's mutable view of one MemImage.
+type segment struct {
+	base  uint64
+	data  []byte
+	def   []bool
+	valid []bool
+	init  MemImage // backing image for Reset
+}
+
+// Outcome summarises one execution.
+type Outcome struct {
+	Steps   int
+	SigSegv int // dereferences outside the sandbox
+	SigFpe  int // divide faults
+	Undef   int // reads of undefined registers, flags or memory bytes
+	Exhaust bool
+}
+
+// Machine is a reusable interpreter. A Machine is not safe for concurrent
+// use; each search thread owns one.
+type Machine struct {
+	Regs     [x64.NumGPR]uint64
+	RegDef   uint16
+	Xmm      [x64.NumXMM][2]uint64
+	XmmDef   uint16
+	Flags    x64.FlagSet
+	FlagsDef x64.FlagSet
+
+	segs []segment
+
+	// Error counters for the current run.
+	sigsegv int
+	sigfpe  int
+	undef   int
+
+	// MaxSteps bounds one execution; the default covers any loop-free
+	// sequence of the paper's length plus slack.
+	MaxSteps int
+
+	// trace, when non-nil, records every byte address the program
+	// dereferences. It stands in for the PinTool instrumentation of §5.1:
+	// the addresses the target touches define the sandbox for rewrites.
+	trace *Trace
+}
+
+// Trace records the byte addresses dereferenced during instrumented runs.
+type Trace struct {
+	Reads  map[uint64]struct{}
+	Writes map[uint64]struct{}
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{Reads: map[uint64]struct{}{}, Writes: map[uint64]struct{}{}}
+}
+
+// SetTrace installs (or, with nil, removes) instrumentation on the machine.
+func (m *Machine) SetTrace(t *Trace) { m.trace = t }
+
+// New returns a machine with an empty address space.
+func New() *Machine {
+	return &Machine{MaxSteps: 4096}
+}
+
+// LoadSnapshot resets the machine to the given initial state, reusing
+// existing segment storage when shapes match (the hot path re-runs the same
+// testcases millions of times).
+func (m *Machine) LoadSnapshot(s *Snapshot) {
+	m.Regs = s.Regs
+	m.RegDef = s.RegDef
+	m.Xmm = s.Xmm
+	m.XmmDef = s.XmmDef
+	m.Flags = s.Flags
+	m.FlagsDef = s.FlagsDef
+	m.sigsegv, m.sigfpe, m.undef = 0, 0, 0
+
+	if len(m.segs) != len(s.Mem) {
+		m.segs = make([]segment, len(s.Mem))
+	}
+	for i := range s.Mem {
+		im := &s.Mem[i]
+		sg := &m.segs[i]
+		if sg.base != im.Base || len(sg.data) != len(im.Data) {
+			sg.base = im.Base
+			sg.data = make([]byte, len(im.Data))
+			sg.def = make([]bool, len(im.Def))
+			sg.valid = make([]bool, len(im.Valid))
+		}
+		copy(sg.data, im.Data)
+		copy(sg.def, im.Def)
+		copy(sg.valid, im.Valid)
+		sg.init = *im
+	}
+}
+
+// findSeg returns the segment containing [addr, addr+n), or nil.
+func (m *Machine) findSeg(addr uint64, n int) *segment {
+	for i := range m.segs {
+		sg := &m.segs[i]
+		if addr >= sg.base && addr-sg.base+uint64(n) <= uint64(len(sg.data)) {
+			return sg
+		}
+	}
+	return nil
+}
+
+// loadBytes reads n bytes at addr under the sandbox discipline: any byte
+// outside the sandbox makes the whole access fault (counted once) and the
+// access reads as zero; undefined bytes count one undef read.
+func (m *Machine) loadBytes(addr uint64, n int, out []byte) {
+	if m.trace != nil {
+		for i := 0; i < n; i++ {
+			m.trace.Reads[addr+uint64(i)] = struct{}{}
+		}
+	}
+	sg := m.findSeg(addr, n)
+	if sg == nil {
+		m.sigsegv++
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return
+	}
+	off := addr - sg.base
+	sawUndef := false
+	sawInvalid := false
+	for i := 0; i < n; i++ {
+		if !sg.valid[off+uint64(i)] {
+			sawInvalid = true
+		}
+	}
+	if sawInvalid {
+		m.sigsegv++
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if !sg.def[off+uint64(i)] {
+			sawUndef = true
+		}
+		out[i] = sg.data[off+uint64(i)]
+	}
+	if sawUndef {
+		m.undef++
+	}
+}
+
+// storeBytes writes n bytes at addr; stores outside the sandbox are dropped
+// after counting a fault.
+func (m *Machine) storeBytes(addr uint64, n int, in []byte) {
+	if m.trace != nil {
+		for i := 0; i < n; i++ {
+			m.trace.Writes[addr+uint64(i)] = struct{}{}
+		}
+	}
+	sg := m.findSeg(addr, n)
+	if sg == nil {
+		m.sigsegv++
+		return
+	}
+	off := addr - sg.base
+	for i := 0; i < n; i++ {
+		if !sg.valid[off+uint64(i)] {
+			m.sigsegv++
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		sg.data[off+uint64(i)] = in[i]
+		sg.def[off+uint64(i)] = true
+	}
+}
+
+// load reads an n-byte little-endian value (n <= 8).
+func (m *Machine) load(addr uint64, n int) uint64 {
+	var buf [8]byte
+	m.loadBytes(addr, n, buf[:n])
+	v := uint64(0)
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// store writes an n-byte little-endian value (n <= 8).
+func (m *Machine) store(addr uint64, n int, v uint64) {
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	m.storeBytes(addr, n, buf[:n])
+}
+
+// MemByte returns the current contents and definedness of one byte, for
+// cost-function comparison of live memory outputs.
+func (m *Machine) MemByte(addr uint64) (b byte, defined, ok bool) {
+	sg := m.findSeg(addr, 1)
+	if sg == nil {
+		return 0, false, false
+	}
+	off := addr - sg.base
+	return sg.data[off], sg.def[off], true
+}
+
+// RegValue returns the current value of a register viewed at width bytes.
+func (m *Machine) RegValue(r x64.Reg, width uint8) uint64 {
+	return m.Regs[r] & widthMask(width)
+}
+
+// effectiveAddr computes base + index*scale + disp, counting undefined
+// address registers.
+func (m *Machine) effectiveAddr(o x64.Operand) uint64 {
+	var a uint64
+	if o.Base != x64.NoReg {
+		if m.RegDef&(1<<o.Base) == 0 {
+			m.undef++
+		}
+		a += m.Regs[o.Base]
+	}
+	if o.Index != x64.NoReg {
+		if m.RegDef&(1<<o.Index) == 0 {
+			m.undef++
+		}
+		a += m.Regs[o.Index] * uint64(o.Scale)
+	}
+	return a + uint64(int64(o.Disp))
+}
+
+func widthMask(w uint8) uint64 {
+	switch w {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	case 4:
+		return 0xffffffff
+	case 8:
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func widthBits(w uint8) uint { return uint(w) * 8 }
+
+func signBit(w uint8) uint64 { return 1 << (widthBits(w) - 1) }
+
+// readGPR reads a register view, counting undefined reads.
+func (m *Machine) readGPR(r x64.Reg, w uint8) uint64 {
+	if m.RegDef&(1<<r) == 0 {
+		m.undef++
+	}
+	return m.Regs[r] & widthMask(w)
+}
+
+// writeGPR writes a register view with hardware merge semantics: 32-bit
+// writes zero the upper half; 8- and 16-bit writes merge — and merging
+// with an undefined register reads its undefined upper bits, which counts
+// against the undef term just like any other undefined read.
+func (m *Machine) writeGPR(r x64.Reg, w uint8, v uint64) {
+	switch w {
+	case 8:
+		m.Regs[r] = v
+	case 4:
+		m.Regs[r] = v & 0xffffffff
+	case 2:
+		if m.RegDef&(1<<r) == 0 {
+			m.undef++
+		}
+		m.Regs[r] = m.Regs[r]&^uint64(0xffff) | v&0xffff
+	case 1:
+		if m.RegDef&(1<<r) == 0 {
+			m.undef++
+		}
+		m.Regs[r] = m.Regs[r]&^uint64(0xff) | v&0xff
+	}
+	m.RegDef |= 1 << r
+}
+
+// readOperand reads a GPR, immediate or memory operand as a value masked to
+// its width.
+func (m *Machine) readOperand(o x64.Operand) uint64 {
+	switch o.Kind {
+	case x64.KindReg:
+		return m.readGPR(o.Reg, o.Width)
+	case x64.KindImm:
+		return uint64(o.Imm) & widthMask(o.Width)
+	case x64.KindMem:
+		return m.load(m.effectiveAddr(o), int(o.Width))
+	}
+	panic(fmt.Sprintf("emu: readOperand on %v", o.Kind))
+}
+
+// writeOperand writes a GPR or memory operand.
+func (m *Machine) writeOperand(o x64.Operand, v uint64) {
+	switch o.Kind {
+	case x64.KindReg:
+		m.writeGPR(o.Reg, o.Width, v)
+	case x64.KindMem:
+		m.store(m.effectiveAddr(o), int(o.Width), v)
+	default:
+		panic(fmt.Sprintf("emu: writeOperand on %v", o.Kind))
+	}
+}
+
+// readXmm reads an XMM register, counting undefined reads.
+func (m *Machine) readXmm(r x64.Reg) [2]uint64 {
+	if m.XmmDef&(1<<r) == 0 {
+		m.undef++
+	}
+	return m.Xmm[r]
+}
+
+func (m *Machine) writeXmm(r x64.Reg, v [2]uint64) {
+	m.Xmm[r] = v
+	m.XmmDef |= 1 << r
+}
+
+// readFlags checks definedness of the flags a condition inspects and
+// returns the current flag valuation.
+func (m *Machine) readFlagsFor(cc x64.Cond) x64.FlagSet {
+	need := x64.FlagsReadByCond(cc)
+	if need&^m.FlagsDef != 0 {
+		m.undef++
+	}
+	return m.Flags
+}
+
+// setFlag sets or clears one flag and marks it defined.
+func (m *Machine) setFlag(f x64.FlagSet, on bool) {
+	if on {
+		m.Flags |= f
+	} else {
+		m.Flags &^= f
+	}
+	m.FlagsDef |= f
+}

@@ -1,0 +1,575 @@
+// Package mcmc implements the Metropolis-Hastings search of §3.2 and §4.3:
+// candidate rewrites are fixed-length sequences of ℓ instruction slots (with
+// the UNUSED token standing for empty slots), proposals are drawn from the
+// paper's four move types (opcode, operand, swap, instruction), and
+// acceptance follows the Metropolis ratio with the early-termination
+// optimisation of §4.5 (Equation 14): the acceptance coin is flipped first,
+// converted into a maximum acceptable cost, and testcase evaluation stops
+// as soon as the running cost exceeds it.
+package mcmc
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/x64"
+)
+
+// Params are the MCMC parameters of Figure 11.
+type Params struct {
+	PC float64 // opcode move probability
+	PO float64 // operand move probability
+	PS float64 // swap move probability
+	PI float64 // instruction move probability
+	PU float64 // probability an instruction move proposes UNUSED
+
+	Beta float64 // inverse temperature β
+	Ell  int     // fixed sequence length ℓ
+}
+
+// PaperParams are the constants of Figure 11.
+var PaperParams = Params{
+	PC: 0.16, PO: 0.5, PS: 0.16, PI: 0.16, PU: 0.16,
+	Beta: 0.1, Ell: 50,
+}
+
+// Pools are the operand equivalence classes proposals draw from: immediates
+// come from a bag of predefined constants (§4.3), memory operands from the
+// shapes the target uses, and registers from the general purpose file
+// (minus RSP, protecting the stack discipline of §5.2).
+type Pools struct {
+	Regs []x64.Reg
+	Imms []int64
+	Mems []x64.Operand // memory operands harvested from the target
+	Xmm  bool          // whether SSE operands/opcodes participate
+}
+
+// DefaultConstants is the predefined constant bag.
+var DefaultConstants = []int64{
+	0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 24, 31, 32, 48, 63, 64,
+	-1, -2, -8, 255, 256, 0xffff, 0x7fffffff, 0x80000000, 0xffffffff,
+	1 << 32, -1 << 31, 1 << 62,
+}
+
+// PoolsFor builds proposal pools from a target program: its memory operand
+// shapes and immediate constants join the default bags, and SSE moves are
+// enabled either when the target touches XMM registers or when sse is
+// forced.
+func PoolsFor(target *x64.Program, sse bool) Pools {
+	p := Pools{Xmm: sse}
+	for r := x64.Reg(0); r < x64.NumGPR; r++ {
+		if r != x64.RSP {
+			p.Regs = append(p.Regs, r)
+		}
+	}
+	p.Imms = append(p.Imms, DefaultConstants...)
+	seenMem := map[x64.Operand]bool{}
+	for _, in := range target.Insts {
+		for i := uint8(0); i < in.N; i++ {
+			o := in.Opd[i]
+			switch o.Kind {
+			case x64.KindImm:
+				p.Imms = append(p.Imms, o.Imm)
+			case x64.KindMem:
+				if !seenMem[o] {
+					seenMem[o] = true
+					p.Mems = append(p.Mems, o)
+					// Also offer the same shape at other access widths.
+					for _, w := range []uint8{1, 2, 4, 8, 16} {
+						if w == o.Width {
+							continue
+						}
+						alt := o
+						alt.Width = w
+						if !seenMem[alt] {
+							seenMem[alt] = true
+							p.Mems = append(p.Mems, alt)
+						}
+					}
+				}
+			case x64.KindXmm:
+				p.Xmm = true
+			}
+		}
+	}
+	return p
+}
+
+// opcodeClasses maps a signature to the proposable opcodes accepting it,
+// computed once: these are the paper's "equivalence classes of opcodes
+// expecting the same number and type of operands".
+var opcodeClasses = func() map[x64.Sig][]x64.Opcode {
+	m := map[x64.Sig][]x64.Opcode{}
+	for op := x64.Opcode(0); op < x64.NumOpcodes; op++ {
+		info := x64.Info(op)
+		if !info.Proposable {
+			continue
+		}
+		for _, s := range info.Sigs {
+			m[s] = append(m[s], op)
+		}
+	}
+	return m
+}()
+
+// proposableOpcodes lists every proposable opcode, split by whether it
+// involves SSE state (so non-SSE targets are not flooded with xmm noise).
+var proposableOpcodes, proposableSSE = func() (gp, sse []x64.Opcode) {
+	for op := x64.Opcode(0); op < x64.NumOpcodes; op++ {
+		info := x64.Info(op)
+		if !info.Proposable {
+			continue
+		}
+		isSSE := false
+		for _, s := range info.Sigs {
+			for i := uint8(0); i < s.N; i++ {
+				if s.Slot[i] == x64.TokX || s.Slot[i] == x64.TokM128 {
+					isSSE = true
+				}
+			}
+		}
+		if isSSE {
+			sse = append(sse, op)
+		} else {
+			gp = append(gp, op)
+		}
+	}
+	return gp, sse
+}()
+
+// Stats accumulates sampler counters; TestsEvaluated feeds Figure 5.
+type Stats struct {
+	Proposals      int64
+	Accepts        int64
+	TestsEvaluated int64
+}
+
+// Sampler runs one MCMC chain. It is not safe for concurrent use; parallel
+// search runs one Sampler per goroutine (§5.3).
+type Sampler struct {
+	Params Params
+	Pools  Pools
+	Cost   *cost.Fn
+	Rng    *rand.Rand
+
+	// OnImprove, when set, is invoked with a clone of the best-so-far
+	// program each time the best cost drops (used to trace Figures 7/8).
+	OnImprove func(iter int64, c float64, p *x64.Program)
+
+	// OnStep, when set, is invoked every StepInterval proposals with the
+	// running statistics (used to trace Figure 5).
+	OnStep       func(s Stats, current float64)
+	StepInterval int64
+
+	// RestartAfter, when positive, resets the chain to the best correct
+	// program seen after that many proposals without improvement.
+	RestartAfter int64
+
+	Stats Stats
+}
+
+// Result is the outcome of one chain.
+type Result struct {
+	Best     *x64.Program
+	BestCost float64
+
+	// BestCorrect is the lowest-cost program whose eq term was zero
+	// (testcase-equivalent to the target), or nil if the chain never
+	// visited one. Optimization phases return this: it is the candidate
+	// submitted to the validator (Figure 9, step 5→6).
+	BestCorrect     *x64.Program
+	BestCorrectCost float64
+
+	// ZeroCost reports that a zero-eq-cost rewrite was found; for
+	// synthesis chains this is the success criterion.
+	ZeroCost bool
+	Stats    Stats
+}
+
+// Run performs `proposals` Metropolis-Hastings steps starting from start.
+func (s *Sampler) Run(start *x64.Program, proposals int64) Result {
+	if s.Params.Ell == 0 {
+		s.Params = PaperParams
+	}
+	cur := start.PadTo(s.Params.Ell)
+	curRes := s.Cost.Eval(cur, cost.MaxBudget)
+	curCost := curRes.Cost
+	s.Stats.TestsEvaluated += int64(curRes.TestsRun)
+
+	best := cur.Clone()
+	bestCost := curCost
+	zero := curRes.EqCost == 0
+
+	var bestCorrect *x64.Program
+	bestCorrectCost := math.Inf(1)
+	if zero {
+		bestCorrect = cur.Clone()
+		bestCorrectCost = curCost
+	}
+	sinceImprove := int64(0)
+
+	scratch := cur.Clone()
+	for i := int64(0); i < proposals; i++ {
+		s.Stats.Proposals++
+		sinceImprove++
+
+		// Optional restart: a chain that has wandered away from the
+		// correct region for a long time resumes from the best correct
+		// program seen (an extension over the paper; disabled when
+		// RestartAfter is zero).
+		if s.RestartAfter > 0 && sinceImprove >= s.RestartAfter && bestCorrect != nil {
+			copy(cur.Insts, bestCorrect.Insts)
+			curCost = bestCorrectCost
+			sinceImprove = 0
+		}
+
+		copy(scratch.Insts, cur.Insts)
+		if !s.propose(scratch) {
+			// Degenerate move (e.g. no live instruction to mutate): the
+			// proposal equals the current state and is trivially accepted.
+			s.Stats.Accepts++
+			continue
+		}
+
+		// Early-termination acceptance (Equation 14): sample the coin
+		// first, derive the maximum cost we could accept, and let the
+		// evaluator stop as soon as that bound is exceeded.
+		bound := curCost
+		if p := s.Rng.Float64(); p < 1 {
+			bound = curCost - math.Log(p)/s.Params.Beta
+		}
+		res := s.Cost.Eval(scratch, bound)
+		s.Stats.TestsEvaluated += int64(res.TestsRun)
+
+		if !res.Early && res.Cost <= bound {
+			// Accept: swap current and scratch.
+			cur, scratch = scratch, cur
+			curCost = res.Cost
+			s.Stats.Accepts++
+			if res.EqCost == 0 {
+				zero = true
+				if curCost < bestCorrectCost {
+					bestCorrectCost = curCost
+					if bestCorrect == nil {
+						bestCorrect = cur.Clone()
+					} else {
+						copy(bestCorrect.Insts, cur.Insts)
+					}
+					sinceImprove = 0
+				}
+			}
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best.Insts, cur.Insts)
+				sinceImprove = 0
+				if s.OnImprove != nil {
+					s.OnImprove(i, curCost, best.Clone())
+				}
+			}
+		}
+
+		if s.OnStep != nil && s.StepInterval > 0 && s.Stats.Proposals%s.StepInterval == 0 {
+			s.OnStep(s.Stats, curCost)
+		}
+
+		if bestCost == 0 {
+			break // nothing left to minimise
+		}
+	}
+	return Result{
+		Best: best, BestCost: bestCost,
+		BestCorrect: bestCorrect, BestCorrectCost: bestCorrectCost,
+		ZeroCost: zero, Stats: s.Stats,
+	}
+}
+
+// propose applies one random move to p in place, returning false if the
+// move degenerated to a no-op.
+func (s *Sampler) propose(p *x64.Program) bool {
+	r := s.Rng.Float64()
+	total := s.Params.PC + s.Params.PO + s.Params.PS + s.Params.PI
+	r *= total
+	switch {
+	case r < s.Params.PC:
+		return s.moveOpcode(p)
+	case r < s.Params.PC+s.Params.PO:
+		return s.moveOperand(p)
+	case r < s.Params.PC+s.Params.PO+s.Params.PS:
+		return s.moveSwap(p)
+	default:
+		return s.moveInstruction(p)
+	}
+}
+
+// liveSlot picks a random non-UNUSED, non-LABEL, mutable instruction slot.
+func (s *Sampler) liveSlot(p *x64.Program) int {
+	cand := -1
+	n := 0
+	for i, in := range p.Insts {
+		if in.Op == x64.UNUSED || in.Op == x64.LABEL || in.Op == x64.JMP ||
+			in.Op == x64.Jcc || in.Op == x64.RET {
+			continue
+		}
+		n++
+		if s.Rng.Intn(n) == 0 {
+			cand = i
+		}
+	}
+	return cand
+}
+
+// moveOpcode replaces one instruction's opcode with a random opcode from
+// the equivalence class sharing its operand signature (§4.3).
+func (s *Sampler) moveOpcode(p *x64.Program) bool {
+	i := s.liveSlot(p)
+	if i < 0 {
+		return false
+	}
+	in := &p.Insts[i]
+	old := *in
+	sig, ok := x64.MatchSig(in.Op, in.Opd[:in.N])
+	if !ok {
+		return false
+	}
+	class := opcodeClasses[sig]
+	if len(class) == 0 {
+		return false
+	}
+	op := class[s.Rng.Intn(len(class))]
+	in.Op = op
+	if x64.Info(op).HasCC {
+		in.CC = s.randomCond()
+	} else {
+		in.CC = x64.CondNone
+	}
+	if in.Validate() != nil {
+		// Fixed-register constraints (cl shift counts) can invalidate the
+		// swap; restore and treat as a degenerate proposal.
+		*in = old
+		return false
+	}
+	return true
+}
+
+// moveOperand replaces one randomly chosen operand with a random operand of
+// the same type (§4.3). Immediates are drawn from the constant bag.
+func (s *Sampler) moveOperand(p *x64.Program) bool {
+	i := s.liveSlot(p)
+	if i < 0 {
+		return false
+	}
+	in := &p.Insts[i]
+	if in.N == 0 {
+		return false
+	}
+	slot := s.Rng.Intn(int(in.N))
+	o := in.Opd[slot]
+	switch o.Kind {
+	case x64.KindReg:
+		// Shift counts must stay in CL.
+		if isShift(in.Op) && slot == 0 && o.Width == 1 {
+			return false
+		}
+		// x86 r/m operands form one equivalence class: a register slot
+		// may become a same-width memory operand when the opcode has such
+		// a signature (validated below), and vice versa.
+		if s.Rng.Intn(4) == 0 {
+			if m := s.randomMem(o.Width); m != nil {
+				o = *m
+				break
+			}
+		}
+		o.Reg = s.randomReg()
+	case x64.KindXmm:
+		o.Reg = x64.Reg(s.Rng.Intn(x64.NumXMM))
+	case x64.KindImm:
+		o.Imm = s.Pools.Imms[s.Rng.Intn(len(s.Pools.Imms))]
+	case x64.KindMem:
+		if s.Rng.Intn(4) == 0 {
+			o = x64.R(s.randomReg(), o.Width)
+			break
+		}
+		m := s.randomMem(o.Width)
+		if m == nil {
+			o = x64.R(s.randomReg(), o.Width)
+			break
+		}
+		o = *m
+	default:
+		return false
+	}
+	// Condition codes count as operands for mutation purposes.
+	old := *in
+	if x64.Info(in.Op).HasCC && s.Rng.Intn(4) == 0 {
+		in.CC = s.randomCond()
+	}
+	in.Opd[slot] = o
+	if in.Validate() != nil {
+		*in = old
+		return false
+	}
+	return true
+}
+
+// moveSwap interchanges two random instruction slots (§4.3).
+func (s *Sampler) moveSwap(p *x64.Program) bool {
+	n := len(p.Insts)
+	if n < 2 {
+		return false
+	}
+	i := s.Rng.Intn(n)
+	j := s.Rng.Intn(n)
+	if i == j {
+		return false
+	}
+	// Labels and jumps are pinned (control structure is not searched).
+	for _, k := range []int{i, j} {
+		switch p.Insts[k].Op {
+		case x64.LABEL, x64.JMP, x64.Jcc, x64.RET:
+			return false
+		}
+	}
+	p.Insts[i], p.Insts[j] = p.Insts[j], p.Insts[i]
+	return true
+}
+
+// moveInstruction replaces a random slot with either UNUSED (probability
+// pu) or an unconstrained random instruction (§4.3).
+func (s *Sampler) moveInstruction(p *x64.Program) bool {
+	n := len(p.Insts)
+	if n == 0 {
+		return false
+	}
+	i := s.Rng.Intn(n)
+	switch p.Insts[i].Op {
+	case x64.LABEL, x64.JMP, x64.Jcc, x64.RET:
+		return false
+	}
+	if s.Rng.Float64() < s.Params.PU {
+		p.Insts[i] = x64.Unused()
+		return true
+	}
+	in, ok := s.RandomInst()
+	if !ok {
+		return false
+	}
+	p.Insts[i] = in
+	return true
+}
+
+// RandomInst generates an unconstrained random instruction: a random
+// proposable opcode, a random signature, and random operands of the
+// appropriate types.
+func (s *Sampler) RandomInst() (x64.Inst, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		pool := proposableOpcodes
+		if s.Pools.Xmm && s.Rng.Intn(3) == 0 {
+			pool = proposableSSE
+		}
+		op := pool[s.Rng.Intn(len(pool))]
+		info := x64.Info(op)
+		sig := info.Sigs[s.Rng.Intn(len(info.Sigs))]
+		// Immediates take the signature's context width (the width of the
+		// register or memory slots around them).
+		ctxWidth := uint8(8)
+		for k := uint8(0); k < sig.N; k++ {
+			if w := x64.TokWidth(sig.Slot[k]); w != 0 && w != 16 {
+				ctxWidth = w
+			}
+		}
+		var opds []x64.Operand
+		ok := true
+		for k := uint8(0); k < sig.N && ok; k++ {
+			o, good := s.randomOperand(sig.Slot[k])
+			if o.Kind == x64.KindImm {
+				o.Width = ctxWidth
+			}
+			opds = append(opds, o)
+			ok = good
+		}
+		if !ok {
+			continue
+		}
+		// Shift counts in registers must be CL.
+		if isShift(op) && len(opds) == 2 && opds[0].Kind == x64.KindReg && opds[0].Width == 1 {
+			opds[0].Reg = x64.RCX
+		}
+		in := x64.MakeInst(op, opds...)
+		if info.HasCC {
+			in.CC = s.randomCond()
+		}
+		if in.Validate() == nil {
+			return in, true
+		}
+	}
+	return x64.Inst{}, false
+}
+
+func (s *Sampler) randomReg() x64.Reg {
+	return s.Pools.Regs[s.Rng.Intn(len(s.Pools.Regs))]
+}
+
+func (s *Sampler) randomCond() x64.Cond {
+	return x64.Cond(1 + s.Rng.Intn(int(x64.NumConds)-1))
+}
+
+func (s *Sampler) randomMem(width uint8) *x64.Operand {
+	// Prefer target-shaped memory operands of the right width.
+	var match []x64.Operand
+	for _, m := range s.Pools.Mems {
+		if m.Width == width {
+			match = append(match, m)
+		}
+	}
+	if len(match) == 0 {
+		return nil
+	}
+	o := match[s.Rng.Intn(len(match))]
+	return &o
+}
+
+func (s *Sampler) randomOperand(tok x64.SigTok) (x64.Operand, bool) {
+	switch tok {
+	case x64.TokR8, x64.TokR16, x64.TokR32, x64.TokR64:
+		return x64.R(s.randomReg(), x64.TokWidth(tok)), true
+	case x64.TokX:
+		return x64.X(x64.Reg(s.Rng.Intn(x64.NumXMM))), true
+	case x64.TokI:
+		return x64.Imm(s.Pools.Imms[s.Rng.Intn(len(s.Pools.Imms))], 8), true
+	case x64.TokM8, x64.TokM16, x64.TokM32, x64.TokM64, x64.TokM128:
+		m := s.randomMem(x64.TokWidth(tok))
+		if m == nil {
+			return x64.Operand{}, false
+		}
+		return *m, true
+	}
+	return x64.Operand{}, false
+}
+
+func isShift(op x64.Opcode) bool {
+	switch op {
+	case x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR:
+		return true
+	}
+	return false
+}
+
+// RandomProgram builds the random synthesis starting point of §4.4: ℓ slots
+// filled with unconstrained random instructions (or UNUSED with the token
+// probability).
+func (s *Sampler) RandomProgram() *x64.Program {
+	if s.Params.Ell == 0 {
+		s.Params = PaperParams
+	}
+	p := x64.NewProgram(s.Params.Ell)
+	for i := range p.Insts {
+		if s.Rng.Float64() < s.Params.PU {
+			continue
+		}
+		if in, ok := s.RandomInst(); ok {
+			p.Insts[i] = in
+		}
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+// Package perf implements the paper's static performance model: perf(R;T) =
+// H(T) - H(R), where H sums a fixed average latency per instruction
+// (Equation 13). The table approximates published instruction latencies for
+// the Nehalem/Opteron generation the paper measured on; only relative
+// magnitudes matter for search quality.
+package perf
+
+import "repro/internal/x64"
+
+// Latency returns the unitless average latency charged for one instruction.
+// Pseudo-ops are free; memory operands add a fixed access surcharge.
+func Latency(in x64.Inst) float64 {
+	base := opLatency(in.Op)
+	if base == 0 {
+		return 0
+	}
+	mem := 0.0
+	for i := uint8(0); i < in.N; i++ {
+		if in.Opd[i].Kind == x64.KindMem {
+			mem += memSurcharge
+		}
+	}
+	return base + mem
+}
+
+// memSurcharge is the extra cost charged per memory operand (an L1 hit).
+const memSurcharge = 2.0
+
+func opLatency(op x64.Opcode) float64 {
+	switch op {
+	case x64.UNUSED, x64.LABEL, x64.RET:
+		return 0
+
+	case x64.MOV, x64.MOVABS, x64.MOVZX, x64.MOVSX, x64.LEA,
+		x64.MOVAPS, x64.MOVD, x64.MOVQX:
+		return 1
+	case x64.XCHG:
+		return 2
+	case x64.PUSH, x64.POP:
+		return 3 // implicit stack access
+
+	case x64.ADD, x64.ADC, x64.SUB, x64.SBB, x64.CMP, x64.TEST,
+		x64.NEG, x64.INC, x64.DEC, x64.AND, x64.OR, x64.XOR, x64.NOT:
+		return 1
+	case x64.IMUL, x64.IMUL3:
+		return 3
+	case x64.IMUL1, x64.MUL:
+		return 4 // widening multiply writes two registers
+	case x64.DIV, x64.IDIV:
+		return 25
+
+	case x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR:
+		return 1
+	case x64.SHLD, x64.SHRD:
+		return 3
+
+	case x64.POPCNT:
+		return 3
+	case x64.BSF, x64.BSR:
+		return 3
+	case x64.BSWAP:
+		return 1
+	case x64.BT:
+		return 1
+
+	case x64.SETcc:
+		return 1
+	case x64.CMOVcc:
+		return 2
+	case x64.JMP:
+		return 1
+	case x64.Jcc:
+		return 2 // branches risk misprediction; discourage slightly
+
+	case x64.MOVUPS:
+		return 2
+	case x64.SHUFPS, x64.PSHUFD:
+		return 1
+	case x64.PADDW, x64.PADDD, x64.PADDQ, x64.PSUBW, x64.PSUBD,
+		x64.PAND, x64.POR, x64.PXOR:
+		return 1
+	case x64.PMULLW, x64.PMULLD:
+		return 3
+	case x64.PSLLD, x64.PSRLD, x64.PSLLQ, x64.PSRLQ:
+		return 1
+	}
+	return 1
+}
+
+// H is the paper's static cost of a whole program: the sum of its
+// instruction latencies (Equation 13).
+func H(p *x64.Program) float64 {
+	total := 0.0
+	for _, in := range p.Insts {
+		total += Latency(in)
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/x64"
+)
+
+func TestPseudoOpsAreFree(t *testing.T) {
+	for _, in := range []x64.Inst{
+		x64.Unused(),
+		x64.MakeInst(x64.LABEL, x64.LabelRef(0)),
+		x64.MakeInst(x64.RET),
+	} {
+		if got := Latency(in); got != 0 {
+			t.Errorf("Latency(%v) = %v, want 0", in, got)
+		}
+	}
+}
+
+func TestEveryRealOpcodeHasPositiveLatency(t *testing.T) {
+	for op := x64.Opcode(x64.MOV); op < x64.NumOpcodes; op++ {
+		if got := opLatency(op); got <= 0 {
+			t.Errorf("opLatency(%v) = %v, want > 0", op, got)
+		}
+	}
+}
+
+func TestMemorySurcharge(t *testing.T) {
+	regForm := x64.MakeInst(x64.ADD, x64.R64(x64.RAX), x64.R64(x64.RBX))
+	memForm := x64.MakeInst(x64.ADD, x64.Mem(x64.RDI, 0, 8), x64.R64(x64.RBX))
+	if Latency(memForm) <= Latency(regForm) {
+		t.Errorf("memory form (%v) must cost more than register form (%v)",
+			Latency(memForm), Latency(regForm))
+	}
+}
+
+func TestRelativeMagnitudes(t *testing.T) {
+	// The orderings the search depends on: mov < imul < div; the widening
+	// multiply above the truncating one; popcnt above plain ALU.
+	mov := opLatency(x64.MOV)
+	imul := opLatency(x64.IMUL)
+	mul := opLatency(x64.MUL)
+	div := opLatency(x64.DIV)
+	add := opLatency(x64.ADD)
+	if !(mov <= add && add < imul && imul <= mul && mul < div) {
+		t.Errorf("latency ordering broken: mov=%v add=%v imul=%v mul=%v div=%v",
+			mov, add, imul, mul, div)
+	}
+}
+
+func TestHSumsProgram(t *testing.T) {
+	p := x64.MustParse(`
+  movq rdi, rax
+  addq rsi, rax
+`)
+	want := Latency(p.Insts[0]) + Latency(p.Insts[1])
+	if got := H(p); got != want {
+		t.Errorf("H = %v, want %v", got, want)
+	}
+	// UNUSED padding never changes H (essential: deleting instructions
+	// must strictly reduce the perf term).
+	if got := H(p.PadTo(50)); got != want {
+		t.Errorf("H over padded program = %v, want %v", got, want)
+	}
+}
+
+func TestHMonotoneUnderDeletion(t *testing.T) {
+	p := x64.MustParse(`
+  movq rdi, rax
+  imulq rsi, rax
+  addq rdx, rax
+`)
+	full := H(p)
+	q := p.Clone()
+	q.Insts[1] = x64.Unused()
+	if H(q) >= full {
+		t.Errorf("deleting an instruction must lower H: %v -> %v", full, H(q))
+	}
+}

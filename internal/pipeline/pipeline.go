@@ -1,0 +1,147 @@
+// Package pipeline implements the "actual runtime" stand-in used where the
+// paper measures wall-clock time on hardware (Figure 3's y-axis and the
+// final re-ranking step of Figure 9).
+//
+// The model is a dependency-DAG critical-path estimator for an idealised
+// out-of-order core: each instruction becomes ready when the instructions
+// producing its register, flag and memory inputs have completed, an issue
+// width bounds how many instructions can start per cycle, and completion
+// time is ready time plus the instruction's latency. Unlike the static sum
+// of Equation 13, this model rewards instruction-level parallelism — which
+// is exactly the divergence the paper observes between its predicted and
+// actual runtimes ("outliers correspond to codes with high instruction level
+// parallelism at the micro-op level").
+package pipeline
+
+import (
+	"repro/internal/perf"
+	"repro/internal/x64"
+)
+
+// Config parameterises the core model.
+type Config struct {
+	// IssueWidth is the number of instructions that may begin execution in
+	// one cycle. The default models a 4-wide core.
+	IssueWidth int
+
+	// BranchOverhead is added per conditional branch, charging expected
+	// misprediction cost.
+	BranchOverhead float64
+}
+
+// DefaultConfig is a 4-wide out-of-order core. The branch overhead models
+// expected misprediction cost on data-dependent branches (~15 cycles at a
+// mid-teens miss rate), which is what makes cmov if-conversion profitable —
+// the Figure 13 story.
+var DefaultConfig = Config{IssueWidth: 4, BranchOverhead: 2.5}
+
+// Cycles estimates the execution time of a straight-line pass over p using
+// the default configuration.
+func Cycles(p *x64.Program) float64 {
+	return DefaultConfig.Cycles(p)
+}
+
+// Cycles estimates the execution time of a straight-line pass over p.
+// Branches are treated as executing both arms' dependence edges (a
+// conservative if-conversion), which is exact for the loop-free sequences
+// the system optimises.
+func (c Config) Cycles(p *x64.Program) float64 {
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = 1
+	}
+	var (
+		regReady   [x64.NumGPR]float64
+		xmmReady   [x64.NumXMM]float64
+		flagReady  [x64.NumFlags]float64
+		memReady   float64 // serialise memory writes; reads depend on it
+		issueSlots []float64
+		finish     float64
+		branchCost float64
+	)
+	issueSlots = make([]float64, 0, 8)
+
+	issueAt := func(ready float64) float64 {
+		// The instruction may start no earlier than `ready`, and no more
+		// than IssueWidth instructions may share a start cycle. Model the
+		// constraint by tracking the last IssueWidth start times.
+		start := ready
+		if len(issueSlots) >= c.IssueWidth {
+			gate := issueSlots[len(issueSlots)-c.IssueWidth] + 1
+			if gate > start {
+				start = gate
+			}
+		}
+		issueSlots = append(issueSlots, start)
+		// Keep the window bounded.
+		if len(issueSlots) > 4*c.IssueWidth {
+			issueSlots = issueSlots[len(issueSlots)-2*c.IssueWidth:]
+		}
+		return start
+	}
+
+	for _, in := range p.Insts {
+		switch in.Op {
+		case x64.UNUSED, x64.LABEL, x64.RET:
+			continue
+		case x64.Jcc, x64.JMP:
+			branchCost += c.BranchOverhead
+			continue
+		}
+		e := x64.EffectsOf(in)
+		ready := 0.0
+		for r := x64.Reg(0); r < x64.NumGPR; r++ {
+			if e.GPRRead.Has(r) && regReady[r] > ready {
+				ready = regReady[r]
+			}
+		}
+		for r := x64.Reg(0); r < x64.NumXMM; r++ {
+			if e.XMMRead&(1<<r) != 0 && xmmReady[r] > ready {
+				ready = xmmReady[r]
+			}
+		}
+		for f := x64.Flag(0); f < x64.NumFlags; f++ {
+			if e.FlagsRead.Has(f) && flagReady[f] > ready {
+				ready = flagReady[f]
+			}
+		}
+		if (e.MemRead || e.MemWrite) && memReady > ready {
+			ready = memReady
+		}
+
+		start := issueAt(ready)
+		done := start + perf.Latency(in)
+
+		for r := x64.Reg(0); r < x64.NumGPR; r++ {
+			if e.GPRWrite.Has(r) {
+				regReady[r] = done
+			}
+		}
+		for r := x64.Reg(0); r < x64.NumXMM; r++ {
+			if e.XMMWrite&(1<<r) != 0 {
+				xmmReady[r] = done
+			}
+		}
+		for f := x64.Flag(0); f < x64.NumFlags; f++ {
+			if e.FlagsWrit.Has(f) {
+				flagReady[f] = done
+			}
+		}
+		if e.MemWrite {
+			memReady = done
+		}
+		if done > finish {
+			finish = done
+		}
+	}
+	return finish + branchCost
+}
+
+// Speedup returns how many times faster rewrite is than target under the
+// model; values above 1 mean the rewrite wins.
+func Speedup(target, rewrite *x64.Program) float64 {
+	rt := Cycles(rewrite)
+	if rt == 0 {
+		return 1
+	}
+	return Cycles(target) / rt
+}

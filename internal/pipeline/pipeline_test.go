@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/x64"
+)
+
+func TestILPBeatsDependencyChain(t *testing.T) {
+	// Four independent adds vs a four-deep dependency chain: the same
+	// static latency sum, very different pipeline cycles — exactly the
+	// divergence Figure 3's outliers show.
+	parallel := x64.MustParse(`
+  addq rdi, rax
+  addq rsi, rbx
+  addq rdx, rcx
+  addq rdi, r8
+`)
+	chain := x64.MustParse(`
+  addq rdi, rax
+  addq rax, rbx
+  addq rbx, rcx
+  addq rcx, r8
+`)
+	if perf.H(parallel) != perf.H(chain) {
+		t.Fatalf("static sums should match: %v vs %v", perf.H(parallel), perf.H(chain))
+	}
+	cp, cc := Cycles(parallel), Cycles(chain)
+	if cp >= cc {
+		t.Errorf("parallel code (%v cycles) must beat the chain (%v cycles)", cp, cc)
+	}
+}
+
+func TestIssueWidthLimits(t *testing.T) {
+	// Eight independent instructions on a 1-wide core take at least 8
+	// cycles; a wide core overlaps them.
+	var src string
+	regs := []string{"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9"}
+	for _, r := range regs {
+		src += "incq " + r + "\n"
+	}
+	p := x64.MustParse(src)
+	narrow := Config{IssueWidth: 1}.Cycles(p)
+	wide := Config{IssueWidth: 8}.Cycles(p)
+	if narrow < 8 {
+		t.Errorf("1-wide core: %v cycles for 8 instructions", narrow)
+	}
+	if wide >= narrow {
+		t.Errorf("8-wide core (%v) must beat 1-wide (%v)", wide, narrow)
+	}
+}
+
+func TestFlagDependenciesSerialise(t *testing.T) {
+	// adc depends on the carry from add: must not overlap fully.
+	dep := x64.MustParse(`
+  addq rsi, rax
+  adcq rdx, rbx
+`)
+	indep := x64.MustParse(`
+  addq rsi, rax
+  movq rdx, rbx
+`)
+	if Cycles(dep) <= Cycles(indep) {
+		t.Errorf("flag-dependent pair (%v) must cost at least the independent pair (%v)",
+			Cycles(dep), Cycles(indep))
+	}
+}
+
+func TestMemorySerialises(t *testing.T) {
+	aliased := x64.MustParse(`
+  movq rax, (rdi)
+  movq (rsi), rbx
+`)
+	regOnly := x64.MustParse(`
+  movq rax, rcx
+  movq rsi, rbx
+`)
+	if Cycles(aliased) <= Cycles(regOnly) {
+		t.Errorf("memory ordering must add cost: %v vs %v", Cycles(aliased), Cycles(regOnly))
+	}
+}
+
+func TestBranchOverheadCharged(t *testing.T) {
+	branchy := x64.MustParse(`
+  cmpq rsi, rdi
+  jae .L1
+  movq rsi, rax
+.L1
+`)
+	straight := x64.MustParse(`
+  cmpq rsi, rdi
+  cmovbq rsi, rax
+`)
+	if Cycles(branchy) <= Cycles(straight) {
+		t.Errorf("branch (%v cycles) should cost more than cmov (%v cycles)",
+			Cycles(branchy), Cycles(straight))
+	}
+}
+
+func TestUnusedSlotsFree(t *testing.T) {
+	p := x64.MustParse("addq rsi, rax")
+	if Cycles(p) != Cycles(p.PadTo(50)) {
+		t.Error("UNUSED padding must not change the cycle estimate")
+	}
+}
+
+func TestSpeedupOrientation(t *testing.T) {
+	slow := x64.MustParse(`
+  movq rdi, rax
+  imulq rsi, rax
+  imulq rsi, rax
+  imulq rsi, rax
+`)
+	fast := x64.MustParse("movq rdi, rax")
+	if s := Speedup(slow, fast); s <= 1 {
+		t.Errorf("Speedup(slow, fast) = %v, want > 1", s)
+	}
+	if s := Speedup(fast, slow); s >= 1 {
+		t.Errorf("Speedup(fast, slow) = %v, want < 1", s)
+	}
+}
+
+// TestPaperMontShape reproduces the Figure 1 performance claim under the
+// model: the STOKE rewrite beats gcc -O3 by well over 1.3x.
+func TestPaperMontShape(t *testing.T) {
+	gcc := x64.MustParse(`
+.set c0 0xffffffff
+.set c1 0x100000000
+  movq rsi, r9
+  mov ecx, ecx
+  shrq 32, rsi
+  andl c0, r9d
+  movq rcx, rax
+  mov edx, edx
+  imulq r9, rax
+  imulq rdx, r9
+  imulq rsi, rdx
+  imulq rsi, rcx
+  addq rdx, rax
+  jae .L2
+  movabsq c1, rdx
+  addq rdx, rcx
+.L2
+  movq rax, rsi
+  movq rax, rdx
+  shrq 32, rsi
+  salq 32, rdx
+  addq rsi, rcx
+  addq r9, rdx
+  adcq 0, rcx
+  addq r8, rdx
+  adcq 0, rcx
+  addq rdi, rdx
+  adcq 0, rcx
+  movq rcx, r8
+  movq rdx, rdi
+`)
+	stoke := x64.MustParse(`
+  shlq 32, rcx
+  mov edx, edx
+  xorq rdx, rcx
+  movq rcx, rax
+  mulq rsi
+  addq r8, rdi
+  adcq 0, rdx
+  addq rdi, rax
+  adcq 0, rdx
+  movq rdx, r8
+  movq rax, rdi
+`)
+	s := Speedup(gcc, stoke)
+	if s < 1.3 {
+		t.Errorf("model gives STOKE %vx over gcc -O3; paper reports 1.6x — shape lost", s)
+	}
+	t.Logf("modelled Figure 1 speedup: %.2fx (paper: 1.6x)", s)
+}

@@ -1,0 +1,176 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("unit clause: %v", st)
+	}
+	if !s.Value(a) {
+		// Model is only guaranteed via SolveModel; re-check through it.
+		s2 := New()
+		a2 := s2.NewVar()
+		s2.AddClause(MkLit(a2, false))
+		st, m := s2.SolveModel()
+		if st != Sat || !m[a2] {
+			t.Fatal("unit clause model wrong")
+		}
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Fatal("contradictory units should report unsat at add time")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+}
+
+func TestSmallUnsat(t *testing.T) {
+	// (a|b) (a|!b) (!a|b) (!a|!b) is unsatisfiable.
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, true))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want unsat", st)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons in n holes, unsatisfiable.
+func pigeonhole(n int) *Solver {
+	s := New()
+	vars := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		if st := pigeonhole(n).Solve(); st != Unsat {
+			t.Fatalf("PHP(%d+1,%d) = %v, want unsat", n, n, st)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	s := pigeonhole(9)
+	s.Budget = 50
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("PHP(10,9) with 50-conflict budget = %v, want unknown", st)
+	}
+}
+
+// bruteForce decides a CNF over nv variables by enumeration.
+func bruteForce(nv int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<nv; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := mask>>l.Var()&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nv := 4 + rng.Intn(9) // 4..12 variables
+		nc := 2 + rng.Intn(5*nv)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nc; c++ {
+			var cl []Lit
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				cl = append(cl, MkLit(rng.Intn(nv), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForce(nv, cnf)
+		st, model := s.SolveModel()
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, st, want, cnf)
+		}
+		if st == Sat {
+			// The model must satisfy every clause.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					v := model[l.Var()]
+					if l.Neg() {
+						v = !v
+					}
+					if v {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model does not satisfy %v", iter, cl)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package stoke is the system driver of Figure 9: it wires together
+// testcase generation, parallel synthesis and optimization chains, the 20%
+// re-ranking window, and the validator-in-the-loop testcase refinement, and
+// returns the best verified rewrite for a kernel.
+package stoke
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/mcmc"
+	"repro/internal/pipeline"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// Kernel describes one optimization target: the -O0 style input binary, the
+// annotated driver that generates inputs for it, and its live outputs.
+type Kernel struct {
+	Name   string
+	Target *x64.Program
+	Spec   testgen.Spec
+
+	// LiveMem names the live memory ranges for the validator (the
+	// testcase layer discovers live memory dynamically; the symbolic layer
+	// needs the annotation).
+	LiveMem []verify.MemRange
+
+	// Pointers lists registers that carry addresses; counterexample
+	// register values never override them (a counterexample pointing rdi
+	// into unmapped space is not a runnable testcase).
+	Pointers x64.RegSet
+
+	// SSE enables vector opcodes in the proposal distribution.
+	SSE bool
+}
+
+// Options control the search. Zero values take defaults (DefaultOptions).
+type Options struct {
+	Seed int64
+
+	// Chains and proposal budgets per phase. The paper ran 40 machines
+	// for 30 minutes per phase; these defaults are laptop-scale.
+	SynthChains    int
+	OptChains      int
+	SynthProposals int64
+	OptProposals   int64
+
+	Tests int // testcases per target (§5.1: 32)
+	Ell   int // sequence length ℓ
+
+	// SynthBeta is the synthesis temperature (Figure 11: 0.1 over the
+	// Hamming cost scale). OptBeta runs colder: with the standard
+	// difference-form Metropolis rule, β=1 keeps the chain near the
+	// correct region at the perf-term cost scale (see DESIGN.md).
+	SynthBeta float64
+	OptBeta   float64
+
+	// RestartAfter resets a wandering optimization chain to its best
+	// correct program (extension; 0 disables).
+	RestartAfter int64
+
+	// MaxRefinements bounds validator-driven testcase refinement rounds.
+	MaxRefinements int
+
+	Verify verify.Config
+}
+
+// DefaultOptions are laptop-scale settings that finish a kernel in seconds.
+var DefaultOptions = Options{
+	SynthChains:    4,
+	OptChains:      4,
+	SynthProposals: 400000,
+	OptProposals:   200000,
+	Tests:          32,
+	Ell:            24,
+	SynthBeta:      0.1,
+	OptBeta:        1.0,
+	RestartAfter:   20000,
+	MaxRefinements: 4,
+	Verify:         verify.DefaultConfig,
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions
+	if o.SynthChains == 0 {
+		o.SynthChains = d.SynthChains
+	}
+	if o.OptChains == 0 {
+		o.OptChains = d.OptChains
+	}
+	if o.SynthProposals == 0 {
+		o.SynthProposals = d.SynthProposals
+	}
+	if o.OptProposals == 0 {
+		o.OptProposals = d.OptProposals
+	}
+	if o.Tests == 0 {
+		o.Tests = d.Tests
+	}
+	if o.Ell == 0 {
+		o.Ell = d.Ell
+	}
+	if o.SynthBeta == 0 {
+		o.SynthBeta = d.SynthBeta
+	}
+	if o.OptBeta == 0 {
+		o.OptBeta = d.OptBeta
+	}
+	if o.RestartAfter == 0 {
+		o.RestartAfter = d.RestartAfter
+	}
+	if o.MaxRefinements == 0 {
+		o.MaxRefinements = d.MaxRefinements
+	}
+	if o.Verify.Budget == 0 {
+		o.Verify = d.Verify
+	}
+	return o
+}
+
+// Report is the outcome of one kernel run.
+type Report struct {
+	Kernel  string
+	Target  *x64.Program
+	Rewrite *x64.Program // best correct rewrite (possibly the target itself)
+
+	// SynthesisSucceeded reports whether any synthesis chain reached a
+	// zero-cost rewrite from a random start (Figure 12's starred kernels
+	// are the failures).
+	SynthesisSucceeded bool
+
+	// Verdict is the validator's word on the final rewrite.
+	Verdict verify.Verdict
+
+	// Cycle estimates under the pipeline model and the static model.
+	TargetCycles, RewriteCycles float64
+
+	SynthTime, OptTime, VerifyTime time.Duration
+
+	// Refinements counts counterexample testcases folded back in.
+	Refinements int
+
+	Stats mcmc.Stats
+	Tests int
+}
+
+// Speedup is the modelled speedup of the rewrite over the target.
+func (r *Report) Speedup() float64 {
+	if r.RewriteCycles == 0 {
+		return 1
+	}
+	return r.TargetCycles / r.RewriteCycles
+}
+
+// Run executes the full STOKE pipeline on one kernel.
+func Run(k Kernel, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	tests, err := testgen.Generate(k.Target, k.Spec, opts.Tests, rng)
+	if err != nil {
+		return nil, fmt.Errorf("stoke: %s: %w", k.Name, err)
+	}
+
+	rep := &Report{Kernel: k.Name, Target: k.Target, Tests: len(tests)}
+	pools := mcmc.PoolsFor(k.Target, k.SSE)
+
+	// --- Synthesis phase (§4.4): correctness only, random starts. ---
+	start := time.Now()
+	synthResults := runChains(opts.SynthChains, func(i int) mcmc.Result {
+		params := mcmc.PaperParams
+		params.Ell = opts.Ell
+		params.Beta = opts.SynthBeta
+		s := &mcmc.Sampler{
+			Params: params,
+			Pools:  pools,
+			Cost:   cost.New(tests, k.Spec.LiveOut, cost.Improved, 0),
+			Rng:    rand.New(rand.NewSource(opts.Seed + 1000 + int64(i))),
+		}
+		return s.Run(s.RandomProgram(), opts.SynthProposals)
+	})
+	rep.SynthTime = time.Since(start)
+
+	// Candidate starting points for optimization: the target plus every
+	// synthesized zero-cost rewrite.
+	starts := []*x64.Program{k.Target}
+	for _, r := range synthResults {
+		rep.Stats.Proposals += r.Stats.Proposals
+		rep.Stats.Accepts += r.Stats.Accepts
+		rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+		if r.ZeroCost && r.BestCorrect != nil {
+			rep.SynthesisSucceeded = true
+			starts = append(starts, r.BestCorrect)
+		}
+	}
+
+	// --- Optimization phase (§4.4) with validator-driven testcase
+	// refinement (§4.1): run the chains, validate the fastest surviving
+	// candidate, and on a genuine counterexample fold it into τ and run
+	// the optimization again over the refined search space. ---
+	live := verify.LiveOut{
+		GPRs:  k.Spec.LiveOut.GPRs,
+		Xmms:  k.Spec.LiveOut.Xmms,
+		Flags: k.Spec.LiveOut.Flags,
+		Mem:   k.LiveMem,
+	}
+	m := emu.New()
+	chainSeed := opts.Seed + 2000
+	var best *x64.Program
+	verdict := verify.Equal
+
+	for round := 0; ; round++ {
+		start = time.Now()
+		budget := opts.OptProposals
+		if round > 0 {
+			budget /= 2 // refinement rounds re-optimize with a lighter budget
+		}
+		optResults := runChains(opts.OptChains*len(starts), func(i int) mcmc.Result {
+			params := mcmc.PaperParams
+			params.Ell = opts.Ell
+			params.Beta = opts.OptBeta
+			s := &mcmc.Sampler{
+				Params:       params,
+				Pools:        pools,
+				Cost:         cost.New(tests, k.Spec.LiveOut, cost.Improved, 1),
+				Rng:          rand.New(rand.NewSource(chainSeed + int64(i))),
+				RestartAfter: opts.RestartAfter,
+			}
+			return s.Run(starts[i%len(starts)], budget)
+		})
+		chainSeed += int64(opts.OptChains*len(starts)) + 7
+		rep.OptTime += time.Since(start)
+
+		var candidates []*x64.Program
+		bestCost := 1e30
+		for _, r := range optResults {
+			rep.Stats.Proposals += r.Stats.Proposals
+			rep.Stats.Accepts += r.Stats.Accepts
+			rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+			if r.BestCorrect != nil {
+				candidates = append(candidates, r.BestCorrect)
+				if r.BestCorrectCost < bestCost {
+					bestCost = r.BestCorrectCost
+				}
+			}
+		}
+
+		// Re-ranking (Figure 9, step 6) and validation: pick the fastest
+		// candidate within 20% of the minimum cost that passes every
+		// (possibly refined) testcase; genuine counterexamples shrink the
+		// candidate pool without re-searching, and trigger a re-search
+		// while refinement rounds remain.
+		reSearch := false
+		for {
+			evalCost := cost.New(tests, k.Spec.LiveOut, cost.Improved, 1)
+			best = nil
+			bestCycles := 1e30
+			for _, c := range candidates {
+				res := evalCost.Eval(c, cost.MaxBudget)
+				if res.EqCost != 0 || res.Cost > bestCost*1.2 {
+					continue
+				}
+				if cy := pipeline.Cycles(c); cy < bestCycles {
+					bestCycles = cy
+					best = c
+				}
+			}
+			if best == nil {
+				// Nothing survives the refined testcases; the target is
+				// correct by construction.
+				best = k.Target.Clone()
+				verdict = verify.Equal
+				break
+			}
+
+			vStart := time.Now()
+			res := verify.Equivalent(k.Target, best, live, opts.Verify)
+			rep.VerifyTime += time.Since(vStart)
+			verdict = res.Verdict
+			if res.Verdict != verify.NotEqual {
+				break
+			}
+			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, best)
+			if !genuine {
+				// Uninterpreted-function artefact: the counterexample does
+				// not concretely distinguish the programs. The proof
+				// attempt is inconclusive rather than refuting.
+				verdict = verify.Unknown
+				break
+			}
+			tests = append(tests, tc)
+			rep.Refinements++
+			if round < opts.MaxRefinements {
+				reSearch = true
+				break
+			}
+			// Out of search budget: keep filtering the existing pool
+			// against the refined testcases.
+		}
+		if !reSearch {
+			break
+		}
+	}
+
+	rep.Verdict = verdict
+	rep.Rewrite = best.Packed()
+	rep.Tests = len(tests)
+	rep.TargetCycles = pipeline.Cycles(k.Target)
+	rep.RewriteCycles = pipeline.Cycles(rep.Rewrite)
+	return rep, nil
+}
+
+// cexTestcase converts a counterexample into a testcase, reporting whether
+// it concretely distinguishes target and rewrite.
+func cexTestcase(k Kernel, m *emu.Machine, rng *rand.Rand, cex *verify.Counterexample,
+	target, rewrite *x64.Program) (testgen.Testcase, bool) {
+
+	// Start from a shape-correct random input and overwrite every
+	// non-pointer register — including undefined ones, whose junk values
+	// the counterexample may rely on — with the model's values. The stack
+	// pointer is always a pointer: a counterexample rsp points nowhere
+	// runnable.
+	in := k.Spec.BuildInput(rng)
+	testgen.FillUndefined(in, rng)
+	for r := x64.Reg(0); r < x64.NumGPR; r++ {
+		if r == x64.RSP || k.Pointers.Has(r) {
+			continue
+		}
+		in.Regs[r] = cex.Regs[r]
+	}
+	for r := 0; r < x64.NumXMM; r++ {
+		in.Xmm[r] = cex.Xmm[r]
+	}
+	in.Flags = cex.Flags
+
+	tc, err := testgen.FromInput(m, target, k.Spec, in)
+	if err != nil {
+		return testgen.Testcase{}, false
+	}
+
+	// Does the refined testcase actually separate the programs?
+	f := cost.New([]testgen.Testcase{tc}, k.Spec.LiveOut, cost.Strict, 0)
+	if f.Eval(rewrite, cost.MaxBudget).Cost == 0 {
+		return tc, false
+	}
+	return tc, true
+}
+
+// runChains runs n chain bodies on all available cores and collects results.
+func runChains(n int, body func(i int) mcmc.Result) []mcmc.Result {
+	results := make([]mcmc.Result, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

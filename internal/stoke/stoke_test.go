@@ -1,0 +1,147 @@
+package stoke
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// addKernel is a minimal two-input kernel: rax := rdi + rsi, with an -O0
+// flavoured target.
+func addKernel() Kernel {
+	return Kernel{
+		Name: "add",
+		Target: x64.MustParse(`
+  movq rdi, -8(rsp)
+  movq rsi, -16(rsp)
+  movq -8(rsp), rax
+  addq -16(rsp), rax
+`),
+		Spec: testgen.Spec{
+			BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+				a := testgen.NewArena(0x10000)
+				a.AllocStack(256)
+				a.SetReg(x64.RDI, rng.Uint64())
+				a.SetReg(x64.RSI, rng.Uint64())
+				return a.Snapshot()
+			},
+			LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}},
+		},
+		Pointers: x64.RegSet(0).With(x64.RSP),
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	opts := DefaultOptions
+	opts.Seed = 11
+	opts.SynthChains = 2
+	opts.OptChains = 2
+	opts.SynthProposals = 60000
+	opts.OptProposals = 60000
+	opts.Ell = 12
+
+	rep, err := Run(addKernel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rewrite == nil {
+		t.Fatal("no rewrite")
+	}
+	if rep.Verdict == verify.NotEqual {
+		t.Fatalf("final rewrite failed validation:\n%s", rep.Rewrite)
+	}
+	// The rewrite must be at least as fast as the stack-heavy target and
+	// (given the tiny kernel) strictly shorter.
+	if rep.Rewrite.InstCount() >= rep.Target.InstCount() {
+		t.Errorf("rewrite has %d insts, target %d — no optimization found",
+			rep.Rewrite.InstCount(), rep.Target.InstCount())
+	}
+	if rep.Speedup() < 1 {
+		t.Errorf("speedup %.2f < 1", rep.Speedup())
+	}
+	t.Logf("add: %d -> %d insts, %.2fx, verdict %v, synthesis=%v",
+		rep.Target.InstCount(), rep.Rewrite.InstCount(), rep.Speedup(),
+		rep.Verdict, rep.SynthesisSucceeded)
+	t.Logf("rewrite:\n%s", rep.Rewrite)
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	opts := DefaultOptions
+	opts.Seed = 13
+	opts.SynthChains = 1
+	opts.OptChains = 1
+	opts.SynthProposals = 5000
+	opts.OptProposals = 5000
+	opts.Ell = 10
+
+	a, err := Run(addKernel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(addKernel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rewrite.String() != b.Rewrite.String() {
+		t.Fatalf("same seed, different rewrites:\n%s\nvs\n%s", a.Rewrite, b.Rewrite)
+	}
+}
+
+// TestCexRefinement checks the §4.1 counterexample path: the validator's
+// counterexample against a subtly wrong rewrite must convert into a
+// testcase that concretely separates the programs.
+func TestCexRefinement(t *testing.T) {
+	k := addKernel()
+	rng := rand.New(rand.NewSource(17))
+
+	// A near-miss: rax = rdi + rsi works except when the low 16 bits of
+	// rsi cause a borrow pattern (addw only adds the low word).
+	wrong := x64.MustParse(`
+  movq rdi, rax
+  addw si, ax
+`).PadTo(12)
+	live := verify.LiveOut{GPRs: k.Spec.LiveOut.GPRs}
+	res := verify.Equivalent(k.Target, wrong, live, verify.DefaultConfig)
+	if res.Verdict != verify.NotEqual || res.Cex == nil {
+		t.Fatalf("validator must refute the word-add: %v", res.Verdict)
+	}
+	m := emu.New()
+	tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, wrong)
+	if !genuine {
+		t.Fatal("counterexample testcase does not separate the programs")
+	}
+	f := cost.New([]testgen.Testcase{tc}, k.Spec.LiveOut, cost.Strict, 0)
+	if f.Eval(wrong, cost.MaxBudget).Cost == 0 {
+		t.Fatal("refined testcase scored the wrong rewrite at zero")
+	}
+	if f.Eval(k.Target, cost.MaxBudget).Cost != 0 {
+		t.Fatal("refined testcase must accept the target itself")
+	}
+}
+
+// TestRefinementDropsBuggyRewrite runs the whole pipeline on a kernel whose
+// cheapest near-rewrites are buggy under rare inputs, checking the final
+// rewrite never fails validation.
+func TestRefinementDropsBuggyRewrite(t *testing.T) {
+	opts := DefaultOptions
+	opts.Seed = 23
+	opts.SynthChains = 1
+	opts.OptChains = 2
+	opts.SynthProposals = 10000
+	opts.OptProposals = 40000
+	opts.Ell = 10
+
+	rep, err := Run(addKernel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == verify.NotEqual {
+		t.Fatalf("pipeline returned an unvalidated rewrite:\n%s", rep.Rewrite)
+	}
+	t.Logf("verdict %v after %d refinements", rep.Verdict, rep.Refinements)
+}

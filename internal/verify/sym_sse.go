@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/bv"
+	"repro/internal/x64"
+)
+
+// xmmRead returns both 64-bit halves of an XMM register or 128-bit memory
+// operand.
+func (s *symState) xmmRead(o x64.Operand) (lo, hi *bv.Term) {
+	if o.Kind == x64.KindXmm {
+		return s.xmm[o.Reg][0], s.xmm[o.Reg][1]
+	}
+	addr := s.effAddr(o)
+	return s.memRead(addr, 8), s.memRead(s.b.Add(addr, s.b.Const(64, 8)), 8)
+}
+
+// lane32 extracts 32-bit lane i (0..3) from a half pair.
+func lane32(b *bv.Builder, lo, hi *bv.Term, i int) *bv.Term {
+	if i < 2 {
+		return b.Extract(lo, uint8(32*i), 32)
+	}
+	return b.Extract(hi, uint8(32*(i-2)), 32)
+}
+
+// lanes32Join packs four 32-bit lanes into half pair.
+func lanes32Join(b *bv.Builder, l [4]*bv.Term) (lo, hi *bv.Term) {
+	return b.Concat(l[1], l[0]), b.Concat(l[3], l[2])
+}
+
+// lane16 extracts 16-bit lane i (0..7).
+func lane16(b *bv.Builder, lo, hi *bv.Term, i int) *bv.Term {
+	if i < 4 {
+		return b.Extract(lo, uint8(16*i), 16)
+	}
+	return b.Extract(hi, uint8(16*(i-4)), 16)
+}
+
+func lanes16Join(b *bv.Builder, l [8]*bv.Term) (lo, hi *bv.Term) {
+	lo = b.Concat(b.Concat(l[3], l[2]), b.Concat(l[1], l[0]))
+	hi = b.Concat(b.Concat(l[7], l[6]), b.Concat(l[5], l[4]))
+	return lo, hi
+}
+
+// execSSE translates the fixed-point SSE subset.
+func (s *symState) execSSE(in *x64.Inst) {
+	b := s.b
+	switch in.Op {
+	case x64.MOVD, x64.MOVQX:
+		w := uint8(4)
+		if in.Op == x64.MOVQX {
+			w = 8
+		}
+		src, dst := in.Opd[0], in.Opd[1]
+		switch {
+		case dst.Kind == x64.KindXmm && src.Kind != x64.KindXmm:
+			var v *bv.Term
+			if src.Kind == x64.KindReg {
+				v = s.regRead(src.Reg, w)
+			} else {
+				v = s.memRead(s.effAddr(src), w)
+			}
+			s.xmmWrite(dst.Reg, b.Zext(v, 64), b.Const(64, 0))
+		case dst.Kind != x64.KindXmm && src.Kind == x64.KindXmm:
+			v := b.Extract(s.xmm[src.Reg][0], 0, w8(w))
+			if dst.Kind == x64.KindReg {
+				s.regWrite(dst.Reg, 8, b.Zext(v, 64))
+			} else {
+				s.memWriteBytes(s.effAddr(dst), w, v)
+			}
+		default:
+			s.xmmWrite(dst.Reg, b.Extract(s.xmm[src.Reg][0], 0, 64), b.Const(64, 0))
+		}
+
+	case x64.MOVUPS, x64.MOVAPS:
+		src, dst := in.Opd[0], in.Opd[1]
+		lo, hi := s.xmmRead(src)
+		if dst.Kind == x64.KindXmm {
+			s.xmmWrite(dst.Reg, lo, hi)
+		} else {
+			addr := s.effAddr(dst)
+			s.memWriteBytes(addr, 8, lo)
+			s.memWriteBytes(b.Add(addr, b.Const(64, 8)), 8, hi)
+		}
+
+	case x64.SHUFPS:
+		imm := uint8(in.Opd[0].Imm)
+		sLo, sHi := s.xmmRead(in.Opd[1])
+		dLo, dHi := s.xmmRead(in.Opd[2])
+		var out [4]*bv.Term
+		out[0] = lane32(b, dLo, dHi, int(imm>>0&3))
+		out[1] = lane32(b, dLo, dHi, int(imm>>2&3))
+		out[2] = lane32(b, sLo, sHi, int(imm>>4&3))
+		out[3] = lane32(b, sLo, sHi, int(imm>>6&3))
+		lo, hi := lanes32Join(b, out)
+		s.xmmWrite(in.Opd[2].Reg, lo, hi)
+
+	case x64.PSHUFD:
+		imm := uint8(in.Opd[0].Imm)
+		sLo, sHi := s.xmmRead(in.Opd[1])
+		var out [4]*bv.Term
+		for i := 0; i < 4; i++ {
+			out[i] = lane32(b, sLo, sHi, int(imm>>(2*i)&3))
+		}
+		lo, hi := lanes32Join(b, out)
+		s.xmmWrite(in.Opd[2].Reg, lo, hi)
+
+	case x64.PADDW, x64.PSUBW, x64.PMULLW:
+		aLo, aHi := s.xmmRead(in.Opd[0])
+		bLo, bHi := s.xmmRead(in.Opd[1])
+		var out [8]*bv.Term
+		for i := 0; i < 8; i++ {
+			x := lane16(b, bLo, bHi, i)
+			y := lane16(b, aLo, aHi, i)
+			switch in.Op {
+			case x64.PADDW:
+				out[i] = b.Add(x, y)
+			case x64.PSUBW:
+				out[i] = b.Sub(x, y)
+			case x64.PMULLW:
+				out[i] = b.Mul(x, y)
+			}
+		}
+		lo, hi := lanes16Join(b, out)
+		s.xmmWrite(in.Opd[1].Reg, lo, hi)
+
+	case x64.PADDD, x64.PSUBD, x64.PMULLD:
+		aLo, aHi := s.xmmRead(in.Opd[0])
+		bLo, bHi := s.xmmRead(in.Opd[1])
+		var out [4]*bv.Term
+		for i := 0; i < 4; i++ {
+			x := lane32(b, bLo, bHi, i)
+			y := lane32(b, aLo, aHi, i)
+			switch in.Op {
+			case x64.PADDD:
+				out[i] = b.Add(x, y)
+			case x64.PSUBD:
+				out[i] = b.Sub(x, y)
+			case x64.PMULLD:
+				out[i] = b.Mul(x, y)
+			}
+		}
+		lo, hi := lanes32Join(b, out)
+		s.xmmWrite(in.Opd[1].Reg, lo, hi)
+
+	case x64.PADDQ:
+		aLo, aHi := s.xmmRead(in.Opd[0])
+		bLo, bHi := s.xmmRead(in.Opd[1])
+		s.xmmWrite(in.Opd[1].Reg, b.Add(bLo, aLo), b.Add(bHi, aHi))
+
+	case x64.PAND, x64.POR, x64.PXOR:
+		aLo, aHi := s.xmmRead(in.Opd[0])
+		bLo, bHi := s.xmmRead(in.Opd[1])
+		var lo, hi *bv.Term
+		switch in.Op {
+		case x64.PAND:
+			lo, hi = b.And(bLo, aLo), b.And(bHi, aHi)
+		case x64.POR:
+			lo, hi = b.Or(bLo, aLo), b.Or(bHi, aHi)
+		case x64.PXOR:
+			lo, hi = b.Xor(bLo, aLo), b.Xor(bHi, aHi)
+		}
+		s.xmmWrite(in.Opd[1].Reg, lo, hi)
+
+	case x64.PSLLD, x64.PSRLD:
+		c := uint64(in.Opd[0].Imm)
+		lo, hi := s.xmmRead(in.Opd[1])
+		var out [4]*bv.Term
+		for i := 0; i < 4; i++ {
+			l := lane32(b, lo, hi, i)
+			if c >= 32 {
+				out[i] = b.Const(32, 0)
+			} else if in.Op == x64.PSLLD {
+				out[i] = b.Shl(l, b.Const(32, c))
+			} else {
+				out[i] = b.Lshr(l, b.Const(32, c))
+			}
+		}
+		nlo, nhi := lanes32Join(b, out)
+		s.xmmWrite(in.Opd[1].Reg, nlo, nhi)
+
+	case x64.PSLLQ, x64.PSRLQ:
+		c := uint64(in.Opd[0].Imm)
+		lo, hi := s.xmmRead(in.Opd[1])
+		shiftQ := func(v *bv.Term) *bv.Term {
+			if c >= 64 {
+				return b.Const(64, 0)
+			}
+			if in.Op == x64.PSLLQ {
+				return b.Shl(v, b.Const(64, c))
+			}
+			return b.Lshr(v, b.Const(64, c))
+		}
+		s.xmmWrite(in.Opd[1].Reg, shiftQ(lo), shiftQ(hi))
+
+	default:
+		s.unsupported = fmt.Sprintf("opcode %v", in.Op)
+	}
+}

@@ -1,0 +1,410 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/emu"
+	"repro/internal/testgen"
+	"repro/internal/x64"
+)
+
+func liveRAX() LiveOut {
+	return LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}}
+}
+
+func TestEqualIdenticalPrograms(t *testing.T) {
+	p := x64.MustParse("movq rdi, rax\naddq rsi, rax")
+	res := Equivalent(p, p, liveRAX(), DefaultConfig)
+	if res.Verdict != Equal {
+		t.Fatalf("identical programs: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestEqualSemanticRewrites(t *testing.T) {
+	cases := []struct{ name, a, b string }{
+		{"add-lea", "movq rdi, rax\naddq rsi, rax", "leaq (rdi,rsi), rax"},
+		{"xor-zero", "movq 0, rax", "xorq rax, rax"},
+		{"p01-and", // x & (x-1) two ways
+			"movq rdi, rax\nsubq 1, rax\nandq rdi, rax",
+			"leaq -1(rdi), rax\nandq rdi, rax"},
+		{"shl-add", "movq rdi, rax\naddq rax, rax", "movq rdi, rax\nshlq 1, rax"},
+		{"sub-self", "movq rdi, rax\nsubq rdi, rax", "movl 0, eax"},
+		{"neg-chain", "movq rdi, rax\nnegq rax", "movq 0, rax\nsubq rdi, rax"},
+		{"commuted-mul", "movq rdi, rax\nmulq rsi", "movq rsi, rax\nmulq rdi"},
+		{"cmov-vs-branch",
+			"cmpq rsi, rdi\nmovq rsi, rax\ncmovaq rdi, rax",
+			"movq rsi, rax\ncmpq rsi, rdi\njbe .L1\nmovq rdi, rax\n.L1"},
+		{"movzx-and", "movzbq dil, rax", "movq rdi, rax\nandq 0xff, rax"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, b := x64.MustParse(c.a), x64.MustParse(c.b)
+			res := Equivalent(a, b, liveRAX(), DefaultConfig)
+			if res.Verdict != Equal {
+				t.Fatalf("verdict %v (%s), want equal", res.Verdict, res.Reason)
+			}
+		})
+	}
+}
+
+func TestNotEqualWithCounterexample(t *testing.T) {
+	a := x64.MustParse("movq rdi, rax\naddq rsi, rax")
+	b := x64.MustParse("movq rdi, rax\nsubq rsi, rax")
+	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	if res.Verdict != NotEqual {
+		t.Fatalf("verdict %v, want not-equal", res.Verdict)
+	}
+	if res.Cex == nil {
+		t.Fatal("no counterexample")
+	}
+	// The counterexample must actually distinguish the programs in the
+	// emulator (this is the testcase-refinement path of §4.1).
+	if !cexDistinguishes(t, a, b, res.Cex, liveRAX()) {
+		t.Fatalf("counterexample does not distinguish: %+v", res.Cex)
+	}
+}
+
+// cexDistinguishes runs both programs on the counterexample state and
+// compares live outputs concretely.
+func cexDistinguishes(t *testing.T, a, b *x64.Program, cex *Counterexample, live LiveOut) bool {
+	t.Helper()
+	s := &emu.Snapshot{Regs: cex.Regs, Xmm: cex.Xmm, Flags: cex.Flags,
+		RegDef: 0xffff, XmmDef: 0xffff, FlagsDef: x64.AllFlags}
+	m := emu.New()
+	outA := make([]uint64, len(live.GPRs))
+	outB := make([]uint64, len(live.GPRs))
+	m.LoadSnapshot(s)
+	m.Run(a)
+	for i, lr := range live.GPRs {
+		outA[i] = m.RegValue(lr.Reg, lr.Width)
+	}
+	m.LoadSnapshot(s)
+	m.Run(b)
+	for i, lr := range live.GPRs {
+		outB[i] = m.RegValue(lr.Reg, lr.Width)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeadCodeIgnored(t *testing.T) {
+	a := x64.MustParse("movq rdi, rax\nmovq 123, rcx\nmovq rcx, rdx")
+	b := x64.MustParse("movq rdi, rax")
+	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	if res.Verdict != Equal {
+		t.Fatalf("dead code must not affect live-out equality: %v", res.Verdict)
+	}
+	// But with rcx live, they differ.
+	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RCX, Width: 8}}}
+	res = Equivalent(a, b, live, DefaultConfig)
+	if res.Verdict != NotEqual {
+		t.Fatalf("rcx difference missed: %v", res.Verdict)
+	}
+}
+
+func TestMemoryEquivalence(t *testing.T) {
+	// Store then load roundtrip vs direct register move.
+	a := x64.MustParse(`
+  movq rdi, -8(rsp)
+  movq -8(rsp), rax
+`)
+	b := x64.MustParse("movq rdi, rax")
+	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	if res.Verdict != Equal {
+		t.Fatalf("stack roundtrip: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestMemoryAliasingRespected(t *testing.T) {
+	// Reading two different addresses must not be assumed equal: rax =
+	// [rdi] vs rax = [rsi] differ unless rdi == rsi.
+	a := x64.MustParse("movq (rdi), rax")
+	b := x64.MustParse("movq (rsi), rax")
+	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	if res.Verdict != NotEqual {
+		t.Fatalf("aliasing: %v, want not-equal", res.Verdict)
+	}
+}
+
+func TestLiveMemoryCompared(t *testing.T) {
+	a := x64.MustParse("movl 7, (rdi)")
+	b := x64.MustParse("movl 8, (rdi)")
+	live := LiveOut{Mem: []MemRange{{Base: x64.RDI, Disp: 0, Len: 4}}}
+	res := Equivalent(a, b, live, DefaultConfig)
+	if res.Verdict != NotEqual {
+		t.Fatalf("live memory difference missed: %v", res.Verdict)
+	}
+	c := x64.MustParse("movl 3, (rdi)\nmovl 7, (rdi)")
+	res = Equivalent(a, c, live, DefaultConfig)
+	if res.Verdict != Equal {
+		t.Fatalf("overwritten store: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestStackScratchNotLive(t *testing.T) {
+	// -O0 style stack traffic vs none: equal when only rax is live.
+	a := x64.MustParse(`
+  movq rdi, -8(rsp)
+  movq rsi, -16(rsp)
+  movq -8(rsp), rax
+  addq -16(rsp), rax
+`)
+	b := x64.MustParse("leaq (rdi,rsi), rax")
+	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	if res.Verdict != Equal {
+		t.Fatalf("stack scratch: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestUnsupportedDiv(t *testing.T) {
+	a := x64.MustParse("divq rsi")
+	res := Equivalent(a, a, liveRAX(), DefaultConfig)
+	if res.Verdict != Unsupported {
+		t.Fatalf("div: %v, want unsupported", res.Verdict)
+	}
+}
+
+func TestFlagsLiveOut(t *testing.T) {
+	a := x64.MustParse("cmpq rsi, rdi")
+	b := x64.MustParse("cmpq rdi, rsi")
+	live := LiveOut{Flags: x64.ZF}
+	if res := Equivalent(a, b, live, DefaultConfig); res.Verdict != Equal {
+		t.Fatalf("ZF symmetric compare: %v", res.Verdict)
+	}
+	live = LiveOut{Flags: x64.CF}
+	if res := Equivalent(a, b, live, DefaultConfig); res.Verdict != NotEqual {
+		t.Fatalf("CF asymmetric compare: %v", res.Verdict)
+	}
+}
+
+// TestSymbolicMatchesEmulator is the fidelity keystone: random straight-line
+// programs run in the emulator must produce exactly the values the symbolic
+// translation predicts under concrete evaluation.
+func TestSymbolicMatchesEmulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	ops := []string{
+		"addq rsi, rax", "subq rdi, rbx", "adcq rdx, rcx", "sbbq 7, rax",
+		"imulq rsi, rax", "imull esi, eax", "mull esi",
+		"andq rsi, rax", "orl edi, edx", "xorb dil, al", "notq rcx",
+		"negl ebx", "incq rax", "decw cx",
+		"shlq 5, rax", "shrq cl, rbx", "sarl 3, edx", "rolq 9, rax",
+		"rorw 3, dx", "shldq 7, rsi, rax", "shrdq 11, rsi, rax",
+		"popcntq rsi, rax", "bsfq rsi, rax", "bsrl esi, eax",
+		"bswapq rax", "btq rsi, rax",
+		"cmpq rsi, rdi", "testl eax, ebx",
+		"sete al", "setb bl", "setg cl", "setoq", // setoq invalid; filtered below
+		"cmoveq rsi, rax", "cmovll esi, eax", "cmovaq rdi, rbx",
+		"movzbl sil, eax", "movsbq dil, rax", "movswl cx, edx", "movslq esi, rax",
+		"movq rsi, rax", "movl 123456, ebx", "movabsq 0x123456789abcdef, rcx",
+		"leaq 8(rdi,rsi,4), rax", "xchgq rax, rbx",
+	}
+	var pool []x64.Inst
+	for _, src := range ops {
+		p, err := x64.Parse(src)
+		if err != nil {
+			continue
+		}
+		pool = append(pool, p.Insts[0])
+	}
+	if len(pool) < 40 {
+		t.Fatalf("instruction pool too small: %d", len(pool))
+	}
+
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(8)
+		prog := &x64.Program{}
+		for i := 0; i < n; i++ {
+			prog.Insts = append(prog.Insts, pool[rng.Intn(len(pool))])
+		}
+
+		// Concrete inputs.
+		var snap emu.Snapshot
+		snap.RegDef = 0xffff
+		snap.XmmDef = 0xffff
+		snap.FlagsDef = x64.AllFlags
+		vars := map[string]uint64{}
+		for r := x64.Reg(0); r < x64.NumGPR; r++ {
+			v := rng.Uint64()
+			snap.Regs[r] = v
+			vars[x64.GPRName(r, 8)] = v
+		}
+		if rng.Intn(2) == 0 {
+			snap.Flags = x64.FlagSet(rng.Intn(32))
+		}
+		for f := x64.Flag(0); f < x64.NumFlags; f++ {
+			if snap.Flags.Has(f) {
+				vars[f.String()] = 1
+			} else {
+				vars[f.String()] = 0
+			}
+		}
+
+		// Emulator run.
+		m := emu.New()
+		m.LoadSnapshot(&snap)
+		m.Run(prog)
+
+		// Symbolic run + concrete evaluation. Exact multiplies keep the
+		// comparison exact (no UF hashing).
+		b := bv.NewBuilder()
+		st := newSymState(b, Config{Exact64Mul: true})
+		st.Exec(prog)
+		if st.unsupported != "" {
+			continue
+		}
+		usesWideMul := false
+		for _, in := range prog.Insts {
+			if (in.Op == x64.IMUL1 || in.Op == x64.MUL || in.Op == x64.IMUL ||
+				in.Op == x64.IMUL3) && in.Opd[0].Width == 8 {
+				usesWideMul = true
+			}
+		}
+		if usesWideMul {
+			continue // 64-bit high halves stay uninterpreted; skip
+		}
+		env := &bv.Env{Vars: vars}
+		for r := x64.Reg(0); r < x64.NumGPR; r++ {
+			got := bv.Eval(st.regs[r], env)
+			if got != m.Regs[r] {
+				t.Fatalf("iter %d: reg %s: symbolic %#x, emulator %#x\nprogram:\n%s",
+					iter, x64.GPRName(r, 8), got, m.Regs[r], prog)
+			}
+		}
+		for f := x64.Flag(0); f < x64.NumFlags; f++ {
+			got := bv.Eval(st.flags[f], env)
+			want := uint64(0)
+			if m.Flags.Has(f) {
+				want = 1
+			}
+			// Flags the program leaves undefined-in-input and untouched
+			// still agree because both sides read the same input vars.
+			if got != want {
+				t.Fatalf("iter %d: flag %v: symbolic %d, emulator %d\nprogram:\n%s",
+					iter, f, got, want, prog)
+			}
+		}
+	}
+}
+
+func TestMontgomeryRewritesAgreeOnTestInputs(t *testing.T) {
+	// Full SAT equivalence of the two Figure 1 kernels requires exact
+	// 128-bit multipliers (documented limitation); here the validator must
+	// at least not produce a *spurious* proof of difference that survives
+	// concrete re-checking.
+	gcc := x64.MustParse(`
+.set c0 0xffffffff
+.set c1 0x100000000
+  movq rsi, r9
+  mov ecx, ecx
+  shrq 32, rsi
+  andl c0, r9d
+  movq rcx, rax
+  mov edx, edx
+  imulq r9, rax
+  imulq rdx, r9
+  imulq rsi, rdx
+  imulq rsi, rcx
+  addq rdx, rax
+  jae .L2
+  movabsq c1, rdx
+  addq rdx, rcx
+.L2
+  movq rax, rsi
+  movq rax, rdx
+  shrq 32, rsi
+  salq 32, rdx
+  addq rsi, rcx
+  addq r9, rdx
+  adcq 0, rcx
+  addq r8, rdx
+  adcq 0, rcx
+  addq rdi, rdx
+  adcq 0, rcx
+  movq rcx, r8
+  movq rdx, rdi
+`)
+	stoke := x64.MustParse(`
+  shlq 32, rcx
+  mov edx, edx
+  xorq rdx, rcx
+  movq rcx, rax
+  mulq rsi
+  addq r8, rdi
+  adcq 0, rdx
+  addq rdi, rax
+  adcq 0, rdx
+  movq rdx, r8
+  movq rax, rdi
+`)
+	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.R8, Width: 8}, {Reg: x64.RDI, Width: 8}}}
+	cfg := DefaultConfig
+	cfg.Budget = 20000
+	res := Equivalent(gcc, stoke, live, cfg)
+	switch res.Verdict {
+	case Equal:
+		t.Log("proved equal (unexpected but welcome)")
+	case Unknown:
+		t.Logf("budget exhausted after %d conflicts (expected: different multiplier structures)", res.Conflicts)
+	case NotEqual:
+		// Must be a UF artefact, not a real difference.
+		if cexDistinguishes(t, gcc, stoke,
+			res.Cex, live) {
+			t.Fatal("validator found a real difference between the Figure 1 kernels")
+		}
+		t.Log("spurious UF counterexample, correctly detected by concrete re-check")
+	}
+}
+
+func TestVerifierCatchesSubtleBug(t *testing.T) {
+	// adc vs add in a carry chain: differs only when the first addition
+	// carries — random testing often misses it; the validator must not.
+	a := x64.MustParse(`
+  addq rsi, rax
+  adcq 0, rdx
+`)
+	b := x64.MustParse(`
+  addq rsi, rax
+  addq 0, rdx
+`)
+	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}, {Reg: x64.RDX, Width: 8}}}
+	res := Equivalent(a, b, live, DefaultConfig)
+	if res.Verdict != NotEqual {
+		t.Fatalf("carry-chain bug missed: %v", res.Verdict)
+	}
+	if res.Cex == nil || !cexDistinguishes(t, a, b, res.Cex, live) {
+		t.Fatal("counterexample must concretely distinguish the carry behaviour")
+	}
+}
+
+func TestForwardBranchGuards(t *testing.T) {
+	// A branchy absolute value against the branch-free version.
+	branchy := x64.MustParse(`
+  movq rdi, rax
+  testq rax, rax
+  jns .L1
+  negq rax
+.L1
+`)
+	branchFree := x64.MustParse(`
+  movq rdi, rax
+  movq rdi, rcx
+  sarq 63, rcx
+  xorq rcx, rax
+  subq rcx, rax
+`)
+	res := Equivalent(branchy, branchFree, liveRAX(), DefaultConfig)
+	if res.Verdict != Equal {
+		var detail string
+		if res.Cex != nil {
+			detail = fmt.Sprintf(" cex rdi=%#x", res.Cex.Regs[x64.RDI])
+		}
+		t.Fatalf("abs equivalence: %v (%s)%s", res.Verdict, res.Reason, detail)
+	}
+}

@@ -1,0 +1,571 @@
+package x64
+
+import "fmt"
+
+// Opcode identifies an instruction mnemonic. Operand widths live in the
+// operands themselves, so a single Opcode covers all width variants of a
+// mnemonic (the paper's "nearly 400 64-bit X86 opcodes, some of which have
+// as many as 10 variations" corresponds here to Opcode × signature pairs).
+type Opcode uint16
+
+// Opcodes. Pseudo-ops (LABEL, UNUSED, RET) carry no machine semantics:
+// LABEL marks a branch target, UNUSED is the paper's distinguished token for
+// programs shorter than the fixed sequence length ℓ, and RET terminates
+// execution of a sequence.
+const (
+	BAD Opcode = iota
+
+	// Pseudo-ops.
+	UNUSED
+	LABEL
+	RET
+
+	// Data movement.
+	MOV
+	MOVABS
+	MOVZX
+	MOVSX
+	LEA
+	XCHG
+	PUSH
+	POP
+	CMOVcc
+
+	// Integer arithmetic.
+	ADD
+	ADC
+	SUB
+	SBB
+	CMP
+	TEST
+	NEG
+	INC
+	DEC
+	IMUL  // two-operand form: imul src, dst
+	IMUL3 // three-operand form: imul imm, src, dst
+	IMUL1 // one-operand widening form: RDX:RAX = RAX * src
+	MUL   // unsigned widening: RDX:RAX = RAX * src
+	DIV   // unsigned divide of RDX:RAX
+	IDIV  // signed divide of RDX:RAX
+
+	// Logic.
+	AND
+	OR
+	XOR
+	NOT
+
+	// Shifts and rotates.
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+	SHLD
+	SHRD
+
+	// Bit manipulation.
+	POPCNT
+	BSF
+	BSR
+	BSWAP
+	BT
+
+	// Flag materialisation and control flow.
+	SETcc
+	JMP
+	Jcc
+
+	// SSE integer subset (fixed-point SSE group from §4.3).
+	MOVD   // 32-bit move between GPR and XMM
+	MOVQX  // 64-bit move between GPR and XMM
+	MOVUPS // unaligned 128-bit load/store
+	MOVAPS // xmm-to-xmm move
+	SHUFPS // 32-bit lane shuffle, two-source form
+	PSHUFD // 32-bit lane shuffle, one-source form
+	PADDW
+	PADDD
+	PADDQ
+	PSUBW
+	PSUBD
+	PMULLW
+	PMULLD
+	PAND
+	POR
+	PXOR
+	PSLLD
+	PSRLD
+	PSLLQ
+	PSRLQ
+
+	NumOpcodes
+)
+
+// SigTok is a slot pattern within an instruction signature.
+type SigTok uint8
+
+// Signature slot tokens.
+const (
+	TokNone SigTok = iota
+	TokR8
+	TokR16
+	TokR32
+	TokR64
+	TokX  // xmm register
+	TokM8 // memory by access width
+	TokM16
+	TokM32
+	TokM64
+	TokM128
+	TokI   // immediate (width from context)
+	TokLbl // label reference
+)
+
+func (t SigTok) String() string {
+	switch t {
+	case TokNone:
+		return "-"
+	case TokR8:
+		return "r8"
+	case TokR16:
+		return "r16"
+	case TokR32:
+		return "r32"
+	case TokR64:
+		return "r64"
+	case TokX:
+		return "xmm"
+	case TokM8:
+		return "m8"
+	case TokM16:
+		return "m16"
+	case TokM32:
+		return "m32"
+	case TokM64:
+		return "m64"
+	case TokM128:
+		return "m128"
+	case TokI:
+		return "imm"
+	case TokLbl:
+		return "label"
+	}
+	return fmt.Sprintf("tok%d", uint8(t))
+}
+
+// regTok maps a GPR width in bytes to its signature token.
+func regTok(width uint8) SigTok {
+	switch width {
+	case 1:
+		return TokR8
+	case 2:
+		return TokR16
+	case 4:
+		return TokR32
+	case 8:
+		return TokR64
+	}
+	return TokNone
+}
+
+// memTok maps a memory access width in bytes to its signature token.
+func memTok(width uint8) SigTok {
+	switch width {
+	case 1:
+		return TokM8
+	case 2:
+		return TokM16
+	case 4:
+		return TokM32
+	case 8:
+		return TokM64
+	case 16:
+		return TokM128
+	}
+	return TokNone
+}
+
+// TokWidth returns the operand width in bytes a token denotes (0 for
+// immediates and labels, whose width comes from context).
+func TokWidth(t SigTok) uint8 {
+	switch t {
+	case TokR8, TokM8:
+		return 1
+	case TokR16, TokM16:
+		return 2
+	case TokR32, TokM32:
+		return 4
+	case TokR64, TokM64:
+		return 8
+	case TokX, TokM128:
+		return 16
+	}
+	return 0
+}
+
+// Sig is one accepted operand signature for an opcode, in AT&T order
+// (sources before destination).
+type Sig struct {
+	N    uint8
+	Slot [3]SigTok
+}
+
+func sig(toks ...SigTok) Sig {
+	var s Sig
+	s.N = uint8(len(toks))
+	copy(s.Slot[:], toks)
+	return s
+}
+
+// String renders the signature, e.g. "r64,r64".
+func (s Sig) String() string {
+	out := ""
+	for i := uint8(0); i < s.N; i++ {
+		if i > 0 {
+			out += ","
+		}
+		out += s.Slot[i].String()
+	}
+	return out
+}
+
+// OpInfo is the static metadata for an opcode.
+type OpInfo struct {
+	Name string // base mnemonic, without width suffix or condition code
+	Sigs []Sig  // accepted operand signatures
+
+	// HasCC marks opcodes parameterised by a condition code (Jcc, SETcc,
+	// CMOVcc); the code is stored in Inst.CC.
+	HasCC bool
+
+	// DstSlot is the operand slot written by the instruction (-1 if none).
+	// DstRead marks read-modify-write destinations (e.g. add).
+	DstSlot int8
+	DstRead bool
+
+	// BothRW marks xchg, whose two operands are both read and written.
+	BothRW bool
+
+	// Implicit register operands (e.g. mul reads and writes RAX/RDX, push
+	// and pop use RSP and memory).
+	ImplReads  RegSet
+	ImplWrites RegSet
+	ImplMem    bool // push/pop touch stack memory
+
+	// Status flag behaviour. CondFlags marks shift-family opcodes that
+	// leave flags unchanged when the (dynamic) count is zero.
+	FlagsRead  FlagSet
+	FlagsWrite FlagSet
+	CondFlags  bool
+
+	// Control flow.
+	Jump bool
+
+	// Proposable opcodes participate in MCMC instruction/opcode moves
+	// (§4.3 restricts moves to arithmetic and fixed-point SSE opcodes;
+	// control flow, pseudo-ops and the divide family are excluded).
+	Proposable bool
+}
+
+// sigsRR builds same-width reg,reg signatures for each width in widths.
+func sigsRR(widths ...uint8) []Sig {
+	var out []Sig
+	for _, w := range widths {
+		out = append(out, sig(regTok(w), regTok(w)))
+	}
+	return out
+}
+
+// sigsALU builds the full two-operand ALU family: reg,reg + imm,reg +
+// mem,reg + reg,mem + imm,mem for each width.
+func sigsALU(widths ...uint8) []Sig {
+	var out []Sig
+	for _, w := range widths {
+		r, m := regTok(w), memTok(w)
+		out = append(out,
+			sig(r, r), sig(TokI, r), sig(m, r), sig(r, m), sig(TokI, m))
+	}
+	return out
+}
+
+// sigsUnary builds one-operand reg + mem signatures for each width.
+func sigsUnary(widths ...uint8) []Sig {
+	var out []Sig
+	for _, w := range widths {
+		out = append(out, sig(regTok(w)), sig(memTok(w)))
+	}
+	return out
+}
+
+// sigsShift builds imm,reg + imm,mem + cl,reg signatures for each width.
+func sigsShift(widths ...uint8) []Sig {
+	var out []Sig
+	for _, w := range widths {
+		r, m := regTok(w), memTok(w)
+		out = append(out, sig(TokI, r), sig(TokI, m), sig(TokR8, r))
+	}
+	return out
+}
+
+func sigsXX() []Sig { return []Sig{sig(TokX, TokX)} }
+
+func sigsSSEALU() []Sig {
+	return []Sig{sig(TokX, TokX), sig(TokM128, TokX)}
+}
+
+var allWidths = []uint8{1, 2, 4, 8}
+var w16up = []uint8{2, 4, 8}
+
+// opTable holds metadata for every opcode.
+var opTable = [NumOpcodes]OpInfo{
+	UNUSED: {Name: "unused", DstSlot: -1, Sigs: []Sig{sig()}},
+	LABEL:  {Name: "label", DstSlot: -1, Sigs: []Sig{sig(TokLbl)}},
+	RET:    {Name: "retq", DstSlot: -1, Sigs: []Sig{sig()}},
+
+	MOV: {Name: "mov", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1,
+		Proposable: true},
+	MOVABS: {Name: "movabs", Sigs: []Sig{sig(TokI, TokR64)}, DstSlot: 1,
+		Proposable: true},
+	MOVZX: {Name: "movz", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{
+			sig(TokR8, TokR16), sig(TokR8, TokR32), sig(TokR8, TokR64),
+			sig(TokR16, TokR32), sig(TokR16, TokR64),
+			sig(TokM8, TokR16), sig(TokM8, TokR32), sig(TokM8, TokR64),
+			sig(TokM16, TokR32), sig(TokM16, TokR64),
+		}},
+	MOVSX: {Name: "movs", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{
+			sig(TokR8, TokR16), sig(TokR8, TokR32), sig(TokR8, TokR64),
+			sig(TokR16, TokR32), sig(TokR16, TokR64), sig(TokR32, TokR64),
+			sig(TokM8, TokR16), sig(TokM8, TokR32), sig(TokM8, TokR64),
+			sig(TokM16, TokR32), sig(TokM16, TokR64), sig(TokM32, TokR64),
+		}},
+	LEA: {Name: "lea", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{
+			sig(TokM8, TokR32), sig(TokM8, TokR64),
+			sig(TokM16, TokR32), sig(TokM16, TokR64),
+			sig(TokM32, TokR32), sig(TokM32, TokR64),
+			sig(TokM64, TokR32), sig(TokM64, TokR64),
+		}},
+	XCHG: {Name: "xchg", Sigs: sigsRR(1, 2, 4, 8), DstSlot: 1, BothRW: true},
+	PUSH: {Name: "push", Sigs: []Sig{sig(TokR64), sig(TokI)}, DstSlot: -1,
+		ImplReads: 0, ImplWrites: 0, ImplMem: true},
+	POP:    {Name: "pop", Sigs: []Sig{sig(TokR64)}, DstSlot: 0, ImplMem: true},
+	CMOVcc: {Name: "cmov", Sigs: sigsRR(2, 4, 8), DstSlot: 1, DstRead: true, HasCC: true, Proposable: true},
+
+	ADD: {Name: "add", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	ADC: {Name: "adc", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsRead: CF, FlagsWrite: AllFlags, Proposable: true},
+	SUB: {Name: "sub", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	SBB: {Name: "sbb", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsRead: CF, FlagsWrite: AllFlags, Proposable: true},
+	CMP: {Name: "cmp", Sigs: sigsALU(1, 2, 4, 8), DstSlot: -1,
+		FlagsWrite: AllFlags, Proposable: true},
+	TEST: {Name: "test", DstSlot: -1, FlagsWrite: AllFlags, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range allWidths {
+				r, m := regTok(w), memTok(w)
+				out = append(out, sig(r, r), sig(TokI, r), sig(r, m), sig(TokI, m))
+			}
+			return out
+		}()},
+	NEG: {Name: "neg", Sigs: sigsUnary(1, 2, 4, 8), DstSlot: 0, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	INC: {Name: "inc", Sigs: sigsUnary(1, 2, 4, 8), DstSlot: 0, DstRead: true,
+		FlagsWrite: PF | ZF | SF | OF, Proposable: true},
+	DEC: {Name: "dec", Sigs: sigsUnary(1, 2, 4, 8), DstSlot: 0, DstRead: true,
+		FlagsWrite: PF | ZF | SF | OF, Proposable: true},
+	IMUL: {Name: "imul", DstSlot: 1, DstRead: true, FlagsWrite: AllFlags,
+		Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(regTok(w), regTok(w)), sig(memTok(w), regTok(w)))
+			}
+			return out
+		}()},
+	IMUL3: {Name: "imul", DstSlot: 2, FlagsWrite: AllFlags, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(TokI, regTok(w), regTok(w)),
+					sig(TokI, memTok(w), regTok(w)))
+			}
+			return out
+		}()},
+	IMUL1: {Name: "imul", DstSlot: -1, FlagsWrite: AllFlags,
+		ImplReads: RegSet(0).With(RAX), ImplWrites: RegSet(0).With(RAX).With(RDX),
+		Sigs: sigsUnary(4, 8), Proposable: true},
+	MUL: {Name: "mul", DstSlot: -1, FlagsWrite: AllFlags,
+		ImplReads: RegSet(0).With(RAX), ImplWrites: RegSet(0).With(RAX).With(RDX),
+		Sigs: sigsUnary(4, 8), Proposable: true},
+	DIV: {Name: "div", DstSlot: -1, FlagsWrite: AllFlags,
+		ImplReads: RegSet(0).With(RAX).With(RDX), ImplWrites: RegSet(0).With(RAX).With(RDX),
+		Sigs: sigsUnary(4, 8)},
+	IDIV: {Name: "idiv", DstSlot: -1, FlagsWrite: AllFlags,
+		ImplReads: RegSet(0).With(RAX).With(RDX), ImplWrites: RegSet(0).With(RAX).With(RDX),
+		Sigs: sigsUnary(4, 8)},
+
+	AND: {Name: "and", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	OR: {Name: "or", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	XOR: {Name: "xor", Sigs: sigsALU(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, Proposable: true},
+	NOT: {Name: "not", Sigs: sigsUnary(1, 2, 4, 8), DstSlot: 0, DstRead: true,
+		Proposable: true},
+
+	SHL: {Name: "shl", Sigs: sigsShift(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, CondFlags: true, Proposable: true},
+	SHR: {Name: "shr", Sigs: sigsShift(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, CondFlags: true, Proposable: true},
+	SAR: {Name: "sar", Sigs: sigsShift(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: AllFlags, CondFlags: true, Proposable: true},
+	ROL: {Name: "rol", Sigs: sigsShift(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: CF | OF, CondFlags: true, Proposable: true},
+	ROR: {Name: "ror", Sigs: sigsShift(1, 2, 4, 8), DstSlot: 1, DstRead: true,
+		FlagsWrite: CF | OF, CondFlags: true, Proposable: true},
+	SHLD: {Name: "shld", DstSlot: 2, DstRead: true,
+		FlagsWrite: AllFlags, CondFlags: true, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(TokI, regTok(w), regTok(w)))
+			}
+			return out
+		}()},
+	SHRD: {Name: "shrd", DstSlot: 2, DstRead: true,
+		FlagsWrite: AllFlags, CondFlags: true, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(TokI, regTok(w), regTok(w)))
+			}
+			return out
+		}()},
+
+	POPCNT: {Name: "popcnt", DstSlot: 1, FlagsWrite: AllFlags, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(regTok(w), regTok(w)), sig(memTok(w), regTok(w)))
+			}
+			return out
+		}()},
+	BSF: {Name: "bsf", Sigs: sigsRR(2, 4, 8), DstSlot: 1,
+		FlagsWrite: AllFlags, Proposable: true},
+	BSR: {Name: "bsr", Sigs: sigsRR(2, 4, 8), DstSlot: 1,
+		FlagsWrite: AllFlags, Proposable: true},
+	BSWAP: {Name: "bswap", Sigs: []Sig{sig(TokR32), sig(TokR64)},
+		DstSlot: 0, DstRead: true, Proposable: true},
+	BT: {Name: "bt", DstSlot: -1, FlagsWrite: CF, Proposable: true,
+		Sigs: func() []Sig {
+			var out []Sig
+			for _, w := range w16up {
+				out = append(out, sig(regTok(w), regTok(w)), sig(TokI, regTok(w)))
+			}
+			return out
+		}()},
+
+	SETcc: {Name: "set", Sigs: []Sig{sig(TokR8), sig(TokM8)}, DstSlot: 0,
+		HasCC: true, Proposable: true},
+	JMP: {Name: "jmp", Sigs: []Sig{sig(TokLbl)}, DstSlot: -1, Jump: true},
+	Jcc: {Name: "j", Sigs: []Sig{sig(TokLbl)}, DstSlot: -1, HasCC: true, Jump: true},
+
+	MOVD: {Name: "movd", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{sig(TokR32, TokX), sig(TokX, TokR32),
+			sig(TokM32, TokX), sig(TokX, TokM32)}},
+	MOVQX: {Name: "movq", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{sig(TokR64, TokX), sig(TokX, TokR64),
+			sig(TokM64, TokX), sig(TokX, TokM64)}},
+	MOVUPS: {Name: "movups", DstSlot: 1, Proposable: true,
+		Sigs: []Sig{sig(TokM128, TokX), sig(TokX, TokM128), sig(TokX, TokX)}},
+	MOVAPS: {Name: "movaps", Sigs: sigsXX(), DstSlot: 1, Proposable: true},
+	SHUFPS: {Name: "shufps", Sigs: []Sig{sig(TokI, TokX, TokX)},
+		DstSlot: 2, DstRead: true, Proposable: true},
+	PSHUFD: {Name: "pshufd", Sigs: []Sig{sig(TokI, TokX, TokX)},
+		DstSlot: 2, Proposable: true},
+	PADDW:  {Name: "paddw", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PADDD:  {Name: "paddd", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PADDQ:  {Name: "paddq", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PSUBW:  {Name: "psubw", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PSUBD:  {Name: "psubd", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PMULLW: {Name: "pmullw", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PMULLD: {Name: "pmulld", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PAND:   {Name: "pand", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	POR:    {Name: "por", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PXOR:   {Name: "pxor", Sigs: sigsSSEALU(), DstSlot: 1, DstRead: true, Proposable: true},
+	PSLLD:  {Name: "pslld", Sigs: []Sig{sig(TokI, TokX)}, DstSlot: 1, DstRead: true, Proposable: true},
+	PSRLD:  {Name: "psrld", Sigs: []Sig{sig(TokI, TokX)}, DstSlot: 1, DstRead: true, Proposable: true},
+	PSLLQ:  {Name: "psllq", Sigs: []Sig{sig(TokI, TokX)}, DstSlot: 1, DstRead: true, Proposable: true},
+	PSRLQ:  {Name: "psrlq", Sigs: []Sig{sig(TokI, TokX)}, DstSlot: 1, DstRead: true, Proposable: true},
+}
+
+// Info returns the metadata for op.
+func Info(op Opcode) *OpInfo {
+	if op >= NumOpcodes {
+		return &opTable[BAD]
+	}
+	return &opTable[op]
+}
+
+// PUSH and POP implicitly read and write RSP; set that up at init since the
+// composite literal above keeps the table readable.
+func init() {
+	sp := RegSet(0).With(RSP)
+	opTable[PUSH].ImplReads = sp
+	opTable[PUSH].ImplWrites = sp
+	opTable[POP].ImplReads = sp
+	opTable[POP].ImplWrites = sp
+}
+
+// NumSignatures returns the total number of opcode/signature pairs in the
+// ISA, i.e. the size of the instruction vocabulary the search draws from.
+func NumSignatures() int {
+	n := 0
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		n += len(opTable[op].Sigs)
+	}
+	return n
+}
+
+// operandTok classifies an operand as a signature token.
+func operandTok(o Operand) SigTok {
+	switch o.Kind {
+	case KindReg:
+		return regTok(o.Width)
+	case KindXmm:
+		return TokX
+	case KindImm:
+		return TokI
+	case KindMem:
+		return memTok(o.Width)
+	case KindLabel:
+		return TokLbl
+	}
+	return TokNone
+}
+
+// MatchSig finds the signature of op matched by the given operands, or
+// reports false.
+func MatchSig(op Opcode, operands []Operand) (Sig, bool) {
+	info := Info(op)
+	for _, s := range info.Sigs {
+		if int(s.N) != len(operands) {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(operands); i++ {
+			if operandTok(operands[i]) != s.Slot[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return Sig{}, false
+}

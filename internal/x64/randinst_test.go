@@ -1,0 +1,62 @@
+package x64
+
+import "math/rand"
+
+// newTestRand returns a seeded source for the round-trip property test.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// randomInstForTest builds a random valid instruction straight from the
+// opcode table (a test-local analogue of the sampler's instruction move).
+func randomInstForTest(rng *rand.Rand) (Inst, bool) {
+	op := Opcode(rng.Intn(int(NumOpcodes)))
+	info := Info(op)
+	if !info.Proposable || len(info.Sigs) == 0 {
+		return Inst{}, false
+	}
+	s := info.Sigs[rng.Intn(len(info.Sigs))]
+	ctxWidth := uint8(8)
+	for k := uint8(0); k < s.N; k++ {
+		if w := TokWidth(s.Slot[k]); w != 0 && w != 16 {
+			ctxWidth = w
+		}
+	}
+	var opds []Operand
+	for k := uint8(0); k < s.N; k++ {
+		switch tok := s.Slot[k]; tok {
+		case TokR8, TokR16, TokR32, TokR64:
+			opds = append(opds, R(Reg(rng.Intn(NumGPR)), TokWidth(tok)))
+		case TokX:
+			opds = append(opds, X(Reg(rng.Intn(NumXMM))))
+		case TokI:
+			opds = append(opds, Imm(int64(int32(rng.Uint32()))>>uint(rng.Intn(24)), ctxWidth))
+		case TokM8, TokM16, TokM32, TokM64, TokM128:
+			base := Reg(rng.Intn(NumGPR))
+			m := Mem(base, int32(rng.Intn(256)-128), TokWidth(tok))
+			if rng.Intn(2) == 0 {
+				idx := Reg(rng.Intn(NumGPR))
+				if idx != RSP {
+					m.Index = idx
+					m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+				}
+			}
+			opds = append(opds, m)
+		default:
+			return Inst{}, false
+		}
+	}
+	in := MakeInst(op, opds...)
+	if info.HasCC {
+		in.CC = Cond(1 + rng.Intn(int(NumConds)-1))
+	}
+	// Shift counts in a register must be CL.
+	if in.N == 2 && in.Opd[0].Kind == KindReg && in.Opd[0].Width == 1 {
+		switch op {
+		case SHL, SHR, SAR, ROL, ROR:
+			in.Opd[0].Reg = RCX
+		}
+	}
+	if in.Validate() != nil {
+		return Inst{}, false
+	}
+	return in, true
+}
