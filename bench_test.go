@@ -1,11 +1,12 @@
 // Benchmark harness: one testing.B entry per table/figure in the paper's
-// evaluation (§6), plus ablation micro-benchmarks for the design choices
-// called out in DESIGN.md. Figure benchmarks use a tiny search profile so
+// evaluation (§6), plus ablation micro-benchmarks for the substrate design
+// choices. Figure benchmarks use a tiny search profile so
 // `go test -bench=.` stays tractable; `cmd/stoke-bench -profile full`
 // regenerates the figures with real budgets.
 package repro_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -17,10 +18,10 @@ import (
 	"repro/internal/mcmc"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
-	"repro/internal/stoke"
 	"repro/internal/testgen"
 	"repro/internal/verify"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 // benchProfile keeps figure regeneration fast under `go test -bench`: tiny
@@ -36,7 +37,7 @@ var benchProfile = experiments.Profile{
 
 func BenchmarkFig01Montgomery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig01Montgomery(io.Discard, benchProfile); err != nil {
+		if err := experiments.Fig01Montgomery(context.Background(), io.Discard, benchProfile); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func BenchmarkFig02Validations(b *testing.B) {
 	live := verify.LiveOut{GPRs: bench.Spec.LiveOut.GPRs}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		verify.Equivalent(bench.Target, bench.GccO3, live, verify.DefaultConfig)
+		verify.Equivalent(context.Background(), bench.Target, bench.GccO3, live, verify.DefaultConfig)
 	}
 }
 
@@ -85,7 +86,7 @@ func BenchmarkFig03PredictedVsActual(b *testing.B) {
 
 func BenchmarkFig05EarlyTermination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig05EarlyTermination(io.Discard, benchProfile); err != nil {
+		if err := experiments.Fig05EarlyTermination(context.Background(), io.Discard, benchProfile); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +94,7 @@ func BenchmarkFig05EarlyTermination(b *testing.B) {
 
 func BenchmarkFig07CostFunctions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig07CostFunctions(io.Discard, benchProfile, "p01"); err != nil {
+		if err := experiments.Fig07CostFunctions(context.Background(), io.Discard, benchProfile, "p01"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkFig07CostFunctions(b *testing.B) {
 
 func BenchmarkFig08PercentOfFinal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig08PercentOfFinal(io.Discard, benchProfile, "p01"); err != nil {
+		if err := experiments.Fig08PercentOfFinal(context.Background(), io.Discard, benchProfile, "p01"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkFig08PercentOfFinal(b *testing.B) {
 func BenchmarkFig10And12Suite(b *testing.B) {
 	// Figures 10 and 12 derive from one suite run (as in the paper).
 	for i := 0; i < b.N; i++ {
-		runs, err := experiments.RunSuite(benchProfile, io.Discard)
+		runs, err := experiments.RunSuite(context.Background(), benchProfile, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig11Params(b *testing.B) {
 
 func BenchmarkFig13CycleThroughValues(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig13CycleThroughValues(io.Discard, benchProfile); err != nil {
+		if err := experiments.Fig13CycleThroughValues(context.Background(), io.Discard, benchProfile); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,7 +136,7 @@ func BenchmarkFig13CycleThroughValues(b *testing.B) {
 
 func BenchmarkFig14Saxpy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig14Saxpy(io.Discard, benchProfile); err != nil {
+		if err := experiments.Fig14Saxpy(context.Background(), io.Discard, benchProfile); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func BenchmarkFig14Saxpy(b *testing.B) {
 
 func BenchmarkFig15LinkedList(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig15LinkedList(io.Discard, benchProfile); err != nil {
+		if err := experiments.Fig15LinkedList(context.Background(), io.Discard, benchProfile); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +153,7 @@ func BenchmarkFig15LinkedList(b *testing.B) {
 // --- Ablation and substrate micro-benchmarks -----------------------------
 
 // BenchmarkAblationEarlyTermination measures cost evaluation with and
-// without the Equation 14 bound (DESIGN.md ablation 4).
+// without the Equation 14 bound.
 func BenchmarkAblationEarlyTermination(b *testing.B) {
 	bench, _ := kernels.ByName("p23")
 	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(2)))
@@ -214,7 +215,7 @@ func BenchmarkProposalThroughput(b *testing.B) {
 	}
 	start := s.RandomProgram()
 	b.ResetTimer()
-	s.Run(start, int64(b.N))
+	s.Run(context.Background(), start, int64(b.N))
 }
 
 // BenchmarkEmulator measures raw instruction throughput on the gcc -O3
@@ -254,16 +255,17 @@ func BenchmarkStaticLatency(b *testing.B) {
 // BenchmarkEndToEndP01 runs the whole pipeline on the smallest kernel.
 func BenchmarkEndToEndP01(b *testing.B) {
 	bench, _ := kernels.ByName("p01")
-	opts := stoke.DefaultOptions
-	opts.Seed = 1
-	opts.SynthChains = 1
-	opts.OptChains = 1
-	opts.SynthProposals = 2000
-	opts.OptProposals = 5000
-	opts.Ell = 12
+	engine := stoke.NewEngine(stoke.EngineConfig{})
+	defer engine.Close()
+	opts := []stoke.Option{
+		stoke.WithSeed(1),
+		stoke.WithChains(1, 1),
+		stoke.WithBudgets(2000, 5000),
+		stoke.WithEll(12),
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := stoke.Run(bench.Kernel, opts); err != nil {
+		if _, err := engine.Optimize(context.Background(), bench.Kernel, opts...); err != nil {
 			b.Fatal(err)
 		}
 	}

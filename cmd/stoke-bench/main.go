@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -20,32 +22,50 @@ import (
 func main() {
 	var (
 		fig     = flag.Int("fig", 0, "figure to regenerate (0 = all)")
-		profile = flag.String("profile", "quick", "search budget: quick or full")
+		profile = flag.String("profile", "quick", "search budget profile (quick or full)")
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	p := experiments.Quick
-	if *profile == "full" {
-		p = experiments.Full
-	}
-	p.Seed = *seed
-
-	w := os.Stdout
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "stoke-bench:", err)
 		os.Exit(1)
 	}
-	section := func() { fmt.Fprintf(w, "\n\n") }
+
+	var p experiments.Profile
+	switch *profile {
+	case "quick":
+		p = experiments.Quick
+	case "full":
+		p = experiments.Full
+	default:
+		fail(fmt.Errorf("unknown profile %q (valid: quick, full)", *profile))
+	}
+	p.Seed = *seed
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	w := os.Stdout
+	// Each figure ends with a section break; an interrupt stops there
+	// rather than running the remaining figures to completion.
+	section := func() {
+		fmt.Fprintf(w, "\n\n")
+		if ctx.Err() != nil {
+			fail(fmt.Errorf("interrupted"))
+		}
+	}
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 
-	// Figures 10 and 12 share one suite run, as in the paper.
+	// Figures 10 and 12 share one suite run, as in the paper. The suite
+	// runs several kernels at a time on one shared engine pool, streaming
+	// a progress line as each kernel completes.
 	var runs []experiments.KernelRun
 	if want(10) || want(12) {
 		var err error
 		fmt.Fprintf(w, "Running the benchmark suite (28 kernels)...\n")
-		runs, err = experiments.RunSuite(p, w)
+		runs, err = experiments.RunSuite(ctx, p, w)
 		if err != nil {
 			fail(err)
 		}
@@ -53,7 +73,7 @@ func main() {
 	}
 
 	if want(1) {
-		if err := experiments.Fig01Montgomery(w, p); err != nil {
+		if err := experiments.Fig01Montgomery(ctx, w, p); err != nil {
 			fail(err)
 		}
 		section()
@@ -71,7 +91,7 @@ func main() {
 		section()
 	}
 	if want(5) {
-		if err := experiments.Fig05EarlyTermination(w, p); err != nil {
+		if err := experiments.Fig05EarlyTermination(ctx, w, p); err != nil {
 			fail(err)
 		}
 		section()
@@ -81,13 +101,13 @@ func main() {
 		section()
 	}
 	if want(7) {
-		if err := experiments.Fig07CostFunctions(w, p, "mont"); err != nil {
+		if err := experiments.Fig07CostFunctions(ctx, w, p, "mont"); err != nil {
 			fail(err)
 		}
 		section()
 	}
 	if want(8) {
-		if err := experiments.Fig08PercentOfFinal(w, p, "mont"); err != nil {
+		if err := experiments.Fig08PercentOfFinal(ctx, w, p, "mont"); err != nil {
 			fail(err)
 		}
 		section()
@@ -105,19 +125,19 @@ func main() {
 		section()
 	}
 	if want(13) {
-		if err := experiments.Fig13CycleThroughValues(w, p); err != nil {
+		if err := experiments.Fig13CycleThroughValues(ctx, w, p); err != nil {
 			fail(err)
 		}
 		section()
 	}
 	if want(14) {
-		if err := experiments.Fig14Saxpy(w, p); err != nil {
+		if err := experiments.Fig14Saxpy(ctx, w, p); err != nil {
 			fail(err)
 		}
 		section()
 	}
 	if want(15) {
-		if err := experiments.Fig15LinkedList(w, p); err != nil {
+		if err := experiments.Fig15LinkedList(ctx, w, p); err != nil {
 			fail(err)
 		}
 		section()

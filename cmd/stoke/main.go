@@ -3,36 +3,42 @@
 // validation verdict, and the modelled speedup — the user-facing flow of
 // Figure 9 in the paper.
 //
+// Interrupting a run (Ctrl-C) cancels the search and prints the best
+// rewrite found so far, marked as partial.
+//
 // Usage:
 //
 //	stoke -kernel mont                  # optimize a §6 benchmark
 //	stoke -kernel p01 -profile full     # spend more search budget
+//	stoke -kernel p01 -progress         # stream search events
 //	stoke -list                         # list available benchmarks
 //	stoke -target f.s -in rdi,rsi -out rax   # optimize your own listing
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/perf"
-	"repro/internal/stoke"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "", "benchmark kernel to optimize (see -list)")
-		list    = flag.Bool("list", false, "list benchmark kernels and exit")
-		seed    = flag.Int64("seed", 1, "random seed")
-		profile = flag.String("profile", "quick", "search budget: quick or full")
-		target  = flag.String("target", "", "assembly file to optimize instead of a benchmark")
-		inRegs  = flag.String("in", "", "comma-separated 64-bit input registers for -target")
-		outRegs = flag.String("out", "rax", "comma-separated 64-bit output registers for -target")
+		kernel   = flag.String("kernel", "", "benchmark kernel to optimize (see -list)")
+		list     = flag.Bool("list", false, "list benchmark kernels and exit")
+		seed     = flag.Int64("seed", 1, "random seed")
+		profile  = flag.String("profile", "quick", "search budget profile (quick or full)")
+		progress = flag.Bool("progress", false, "stream search progress events to stderr")
+		target   = flag.String("target", "", "assembly file to optimize instead of a benchmark")
+		inRegs   = flag.String("in", "", "comma-separated 64-bit input registers for -target")
+		outRegs  = flag.String("out", "rax", "comma-separated 64-bit output registers for -target")
 	)
 	flag.Parse()
 
@@ -50,28 +56,31 @@ func main() {
 		return
 	}
 
-	opts := stoke.DefaultOptions
-	opts.Seed = *seed
-	if *profile == "full" {
-		opts.SynthChains = 4
-		opts.OptChains = 4
-		opts.SynthProposals = 500000
-		opts.OptProposals = 600000
-		opts.Ell = 30
+	prof, err := stoke.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []stoke.Option{
+		stoke.WithProfile(prof),
+		stoke.WithSeed(*seed),
+	}
+	if *progress {
+		opts = append(opts, stoke.WithObserver(func(ev stoke.Event) {
+			fmt.Fprintln(os.Stderr, ev)
+		}))
 	}
 
-	var k core.Kernel
+	var k stoke.Kernel
 	switch {
 	case *target != "":
 		src, err := os.ReadFile(*target)
 		if err != nil {
 			fatal(err)
 		}
-		prog, err := core.Parse(string(src))
+		prog, err := stoke.Parse(string(src))
 		if err != nil {
 			fatal(err)
 		}
-		var kopts []core.KernelOption
 		ins, err := parseRegs(*inRegs)
 		if err != nil {
 			fatal(err)
@@ -80,8 +89,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		kopts = append(kopts, core.WithInputs(ins...), core.WithOutput64(outs...))
-		k = core.NewKernel(*target, prog, kopts...)
+		k = stoke.NewKernel(*target, prog,
+			stoke.WithInputs(ins...), stoke.WithOutput64(outs...))
 	case *kernel != "":
 		b, err := kernels.ByName(*kernel)
 		if err != nil {
@@ -93,19 +102,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, err := core.Optimize(k, opts)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	rep, err := stoke.Optimize(ctx, k, opts...)
 	if err != nil {
 		fatal(err)
 	}
 
+	if rep.Partial {
+		fmt.Printf("interrupted: best-so-far (partial) result\n")
+	}
 	fmt.Printf("kernel:      %s\n", rep.Kernel)
 	fmt.Printf("target:      %d instructions, H=%.1f, %.1f cycles\n",
 		rep.Target.InstCount(), perf.H(rep.Target), rep.TargetCycles)
 	fmt.Printf("rewrite:     %d instructions, H=%.1f, %.1f cycles\n",
 		rep.Rewrite.InstCount(), perf.H(rep.Rewrite), rep.RewriteCycles)
 	fmt.Printf("speedup:     %.2fx (pipeline model)\n", rep.Speedup())
-	fmt.Printf("synthesis:   succeeded=%v (%.2fs)\n", rep.SynthesisSucceeded, rep.SynthTime.Seconds())
-	fmt.Printf("optimize:    %.2fs over %d proposals (%.0f proposals/s)\n",
+	// SynthTime/OptTime are summed across chains, so the derived rate is
+	// per-worker throughput.
+	fmt.Printf("synthesis:   succeeded=%v (%.2fs chain time)\n", rep.SynthesisSucceeded, rep.SynthTime.Seconds())
+	fmt.Printf("optimize:    %.2fs chain time over %d proposals (%.0f proposals/s/worker)\n",
 		rep.OptTime.Seconds(), rep.Stats.Proposals,
 		float64(rep.Stats.Proposals)/(rep.SynthTime.Seconds()+rep.OptTime.Seconds()+1e-9))
 	fmt.Printf("validation:  %v (%d refinement testcases, %.2fs)\n",

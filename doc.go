@@ -6,7 +6,10 @@
 // mini-compiler producing the -O0 targets and -O3 comparators, and a
 // benchmark harness regenerating every figure of the paper's evaluation.
 //
-// Start with internal/core for the public API, cmd/stoke for the CLI,
-// cmd/stoke-bench for the figure harness, and DESIGN.md / EXPERIMENTS.md
-// for the reproduction inventory and results.
+// Start with the public stoke package (import "repro/stoke"): it exposes a
+// reusable Engine that schedules the MCMC chains of one or many kernels
+// onto a shared worker pool, takes a context.Context for cancellation with
+// best-so-far partial results, and streams typed progress events to an
+// observer. examples/quickstart is the smallest end-to-end program;
+// cmd/stoke is the CLI and cmd/stoke-bench the figure harness.
 package repro

@@ -4,18 +4,24 @@
 // Figure 10 style table: the speedup of gcc -O3, icc -O3 and the stochastic
 // search over the llvm -O0 style target, under the pipeline cycle model.
 //
+// The whole selection is submitted as one Engine.OptimizeAll batch, so the
+// chains of every kernel interleave on one shared worker pool instead of
+// running kernel-by-kernel.
+//
 //	go run ./examples/hackersdelight            # a fast subset
 //	go run ./examples/hackersdelight -all       # all 25 kernels
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/pipeline"
+	"repro/stoke"
 )
 
 func main() {
@@ -27,25 +33,34 @@ func main() {
 		"p16": true, "p18": true, "p21": true,
 	}
 
-	fmt.Printf("%-6s %8s %8s %8s %10s\n", "kernel", "gcc-O3", "icc-O3", "STOKE", "validator")
-	for _, bench := range core.Benchmarks() {
+	var benches []kernels.Bench
+	var ks []stoke.Kernel
+	for _, bench := range kernels.All() {
 		if !strings.HasPrefix(bench.Name, "p") {
 			continue
 		}
 		if !*all && !subset[bench.Name] {
 			continue
 		}
-		report, err := core.Optimize(bench.Kernel, core.Options{
-			Seed:           3,
-			SynthChains:    1,
-			OptChains:      2,
-			SynthProposals: 30000,
-			OptProposals:   80000,
-			Ell:            16,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		benches = append(benches, bench)
+		ks = append(ks, bench.Kernel)
+	}
+
+	engine := stoke.NewEngine(stoke.EngineConfig{})
+	defer engine.Close()
+
+	reports, err := engine.OptimizeAll(context.Background(), ks,
+		stoke.WithSeed(3),
+		stoke.WithChains(1, 2),
+		stoke.WithBudgets(30000, 80000),
+		stoke.WithEll(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %8s %8s %8s %10s\n", "kernel", "gcc-O3", "icc-O3", "STOKE", "validator")
+	for i, bench := range benches {
+		report := reports[i]
 		base := pipeline.Cycles(bench.Target)
 		star := " "
 		if bench.Star {

@@ -6,23 +6,30 @@
 // four-multiply decomposition; the paper's STOKE discovers an 11-instruction
 // kernel built around the hardware widening multiply.
 //
-//	go run ./examples/montgomery [-proposals N]
+// The -timeout flag caps wall-clock time: on expiry the run returns the
+// best rewrite found so far, marked partial.
+//
+//	go run ./examples/montgomery [-proposals N] [-timeout 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/pipeline"
+	"repro/stoke"
 )
 
 func main() {
 	proposals := flag.Int64("proposals", 300000, "optimization proposals per chain")
+	timeout := flag.Duration("timeout", 10*time.Minute, "wall-clock cap; expiry returns a partial result")
 	flag.Parse()
 
-	bench, err := core.Benchmark("mont")
+	bench, err := kernels.ByName("mont")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,23 +42,27 @@ func main() {
 		bench.PaperRewrite.InstCount(), pipeline.Cycles(bench.PaperRewrite),
 		pipeline.Cycles(bench.GccO3)/pipeline.Cycles(bench.PaperRewrite))
 
-	report, err := core.Optimize(bench.Kernel, core.Options{
-		Seed:         7,
-		OptChains:    4,
-		OptProposals: *proposals,
-		Ell:          30,
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	report, err := stoke.Optimize(ctx, bench.Kernel,
+		stoke.WithSeed(7),
 		// Synthesis rarely lands a 55-instruction kernel at laptop scale;
 		// run a short phase and rely on optimization (§4.7: "even when
 		// synthesis fails, optimization is still possible").
-		SynthChains:    2,
-		SynthProposals: 50000,
-	})
+		stoke.WithChains(2, 4),
+		stoke.WithBudgets(50000, *proposals),
+		stoke.WithEll(30))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("our search:      %2d instructions, %5.1f cycles, %.2fx over the -O0 target\n",
-		report.Rewrite.InstCount(), pipeline.Cycles(report.Rewrite), report.Speedup())
+	partial := ""
+	if report.Partial {
+		partial = " (timed out: best-so-far)"
+	}
+	fmt.Printf("our search:      %2d instructions, %5.1f cycles, %.2fx over the -O0 target%s\n",
+		report.Rewrite.InstCount(), pipeline.Cycles(report.Rewrite), report.Speedup(), partial)
 	fmt.Printf("validator:       %v (%d refinement testcases)\n\n", report.Verdict, report.Refinements)
 	fmt.Printf("--- discovered rewrite ---\n%s\n", report.Rewrite)
 	fmt.Printf("--- paper's rewrite (Figure 1, right) ---\n%s", bench.PaperRewrite)

@@ -1,51 +1,67 @@
 // Quickstart: superoptimize a tiny stack-heavy function.
 //
-// This is the smallest end-to-end use of the library: parse an llvm -O0
-// style listing, annotate its inputs and outputs, run the stochastic
-// search, and print the verified rewrite.
+// This is the smallest end-to-end use of the public stoke package: parse
+// an llvm -O0 style listing, annotate its inputs and outputs, run the
+// stochastic search under a cancellable context while streaming progress
+// events, and print the verified rewrite.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/core"
+	"repro/stoke"
 )
 
 func main() {
 	// rax := rdi + rsi, the way an -O0 compiler writes it: arguments
 	// spilled to the stack and reloaded around the add.
-	target := core.MustParse(`
+	target := stoke.MustParse(`
   movq rdi, -8(rsp)
   movq rsi, -16(rsp)
   movq -8(rsp), rax
   addq -16(rsp), rax
 `)
 
-	kernel := core.NewKernel("quickstart-add", target,
-		core.WithInputs(core.RDI, core.RSI),
-		core.WithOutput64(core.RAX))
+	kernel := stoke.NewKernel("quickstart-add", target,
+		stoke.WithInputs(stoke.RDI, stoke.RSI),
+		stoke.WithOutput64(stoke.RAX))
 
-	report, err := core.Optimize(kernel, core.Options{
-		Seed:           42,
-		SynthChains:    2,
-		OptChains:      2,
-		SynthProposals: 50000,
-		OptProposals:   50000,
-		Ell:            12,
-	})
+	// Every run takes a context: cancel it (or let a deadline fire) and
+	// Optimize returns the best rewrite found so far with Report.Partial
+	// set, instead of blocking to the end of the budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The observer streams typed events — phase transitions, per-chain
+	// best costs, refinement testcases, validator verdicts — which is how
+	// a server or dashboard watches a run live.
+	report, err := stoke.Optimize(ctx, kernel,
+		stoke.WithSeed(42),
+		stoke.WithChains(2, 2),
+		stoke.WithBudgets(50000, 50000),
+		stoke.WithEll(12),
+		stoke.WithObserver(func(ev stoke.Event) {
+			if ev.Kind != stoke.EventChainImproved { // improvements are chatty
+				fmt.Println("  event:", ev)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("target (%d instructions):\n%s\n", target.InstCount(), target)
-	fmt.Printf("rewrite (%d instructions, %.2fx faster, validator: %v):\n%s\n",
-		report.Rewrite.InstCount(), report.Speedup(), report.Verdict, report.Rewrite)
+	fmt.Printf("rewrite (%d instructions, %.2fx faster, validator: %v, partial: %v):\n%s\n",
+		report.Rewrite.InstCount(), report.Speedup(), report.Verdict,
+		report.Partial, report.Rewrite)
 
 	// The validator can also be used standalone: prove the rewrite equals
-	// the target on rax for every machine state.
-	res := core.Equivalent(target, report.Rewrite, core.RAX)
+	// the target on rax for every machine state. A fresh context, not the
+	// run's — if the search timed out above, the proof should still run.
+	res := stoke.Equivalent(context.Background(), target, report.Rewrite, stoke.RAX)
 	fmt.Printf("independent equivalence check: %v\n", res.Verdict)
 }

@@ -11,19 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/pipeline"
+	"repro/stoke"
 )
 
 func main() {
 	proposals := flag.Int64("proposals", 200000, "optimization proposals per chain")
 	flag.Parse()
 
-	bench, err := core.Benchmark("saxpy")
+	bench, err := kernels.ByName("saxpy")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,14 +37,12 @@ func main() {
 	fmt.Printf("paper's SSE:     %2d instructions, %5.1f cycles\n\n",
 		bench.PaperRewrite.InstCount(), pipeline.Cycles(bench.PaperRewrite))
 
-	report, err := core.Optimize(bench.Kernel, core.Options{
-		Seed:           9,
-		SynthChains:    1,
-		SynthProposals: 20000,
-		OptChains:      4,
-		OptProposals:   *proposals,
-		Ell:            24,
-	})
+	report, err := stoke.Optimize(context.Background(), bench.Kernel,
+		stoke.WithSeed(9),
+		stoke.WithChains(1, 4),
+		stoke.WithBudgets(20000, *proposals),
+		stoke.WithEll(24),
+		stoke.WithSSE(true)) // vector opcodes in the proposal distribution
 	if err != nil {
 		log.Fatal(err)
 	}

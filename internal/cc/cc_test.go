@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestO0VsO2ProvablyEquivalent(t *testing.T) {
 		o0 := CompileO0(f)
 		o2 := CompileO2(f, FlavorGCC)
 		live := verify.LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 4}}}
-		res := verify.Equivalent(o0, o2, live, verify.DefaultConfig)
+		res := verify.Equivalent(context.Background(), o0, o2, live, verify.DefaultConfig)
 		if res.Verdict != verify.Equal {
 			t.Fatalf("%s: O0 vs O2 verdict %v\nO0:\n%s\nO2:\n%s",
 				f.Name, res.Verdict, o0, o2)

@@ -1,35 +1,21 @@
-// Package core is the public face of the STOKE reproduction: a stochastic
-// superoptimizer for loop-free x86-64 code (Schkufza, Sharma, Aiken:
-// "Stochastic Superoptimization", ASPLOS 2013).
+// Package core is the deprecated, pre-redesign face of the STOKE
+// reproduction, kept as a thin compatibility shim.
 //
-// The typical flow mirrors Figure 9 of the paper:
-//
-//	target := core.MustParse(`
-//	  movq rdi, -8(rsp)
-//	  movq rsi, -16(rsp)
-//	  movq -8(rsp), rax
-//	  addq -16(rsp), rax
-//	`)
-//	kernel := core.NewKernel("add", target,
-//	    core.WithInputs(core.RDI, core.RSI),
-//	    core.WithOutput64(core.RAX))
-//	report, err := core.Optimize(kernel, core.Options{Seed: 1})
-//	fmt.Println(report.Rewrite)   // e.g. leaq (rdi,rsi), rax
-//
-// Deeper control — custom testcase specs, live memory annotations, SSE
-// proposals, validator configuration — is available through the re-exported
-// types below and the sub-packages they come from.
+// Deprecated: import the public package repro/stoke instead. It adds a
+// reusable Engine with a shared worker pool, context cancellation with
+// partial results, functional options (so zero values are expressible),
+// and streaming progress observers. This shim adapts the old blocking
+// Optimize(kernel, Options) call onto stoke.Optimize and will be removed
+// once nothing imports it.
 package core
 
 import (
-	"math/rand"
+	"context"
 
-	"repro/internal/emu"
 	"repro/internal/kernels"
-	"repro/internal/stoke"
-	"repro/internal/testgen"
 	"repro/internal/verify"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 // Re-exported primary types.
@@ -38,9 +24,6 @@ type (
 	Program = x64.Program
 	// Kernel is an optimization target with its input/output annotations.
 	Kernel = stoke.Kernel
-	// Options configure the search; the zero value takes paper-scaled
-	// laptop defaults.
-	Options = stoke.Options
 	// Report is the outcome of one optimization.
 	Report = stoke.Report
 	// Bench is one of the paper's §6 benchmarks.
@@ -67,110 +50,153 @@ const (
 	R15 = x64.R15
 )
 
+// Options control the search. Zero values take defaults — which is exactly
+// why this struct is deprecated: OptBeta or RestartAfter cannot be
+// explicitly set to 0 through it.
+//
+// Deprecated: use the functional options of repro/stoke.
+type Options struct {
+	Seed int64
+
+	SynthChains    int
+	OptChains      int
+	SynthProposals int64
+	OptProposals   int64
+
+	Tests int
+	Ell   int
+
+	SynthBeta float64
+	OptBeta   float64
+
+	RestartAfter   int64
+	MaxRefinements int
+
+	Verify verify.Config
+}
+
+// options translates the legacy struct: zero-valued fields keep the new
+// package's defaults, mirroring the old withDefaults behaviour.
+func (o Options) options() []stoke.Option {
+	// Seed passes through unconditionally: the old driver never defaulted
+	// it, so a legacy zero Seed really meant rand.NewSource(0).
+	out := []stoke.Option{stoke.WithSeed(o.Seed)}
+	if o.SynthChains != 0 || o.OptChains != 0 {
+		sc, oc := o.SynthChains, o.OptChains
+		if sc == 0 {
+			sc = stoke.DefaultSynthChains
+		}
+		if oc == 0 {
+			oc = stoke.DefaultOptChains
+		}
+		out = append(out, stoke.WithChains(sc, oc))
+	}
+	if o.SynthProposals != 0 || o.OptProposals != 0 {
+		sp, op := o.SynthProposals, o.OptProposals
+		if sp == 0 {
+			sp = stoke.DefaultSynthProposals
+		}
+		if op == 0 {
+			op = stoke.DefaultOptProposals
+		}
+		out = append(out, stoke.WithBudgets(sp, op))
+	}
+	if o.Tests != 0 {
+		out = append(out, stoke.WithTests(o.Tests))
+	}
+	if o.Ell != 0 {
+		out = append(out, stoke.WithEll(o.Ell))
+	}
+	if o.SynthBeta != 0 || o.OptBeta != 0 {
+		sb, ob := o.SynthBeta, o.OptBeta
+		if sb == 0 {
+			sb = stoke.DefaultSynthBeta
+		}
+		if ob == 0 {
+			ob = stoke.DefaultOptBeta
+		}
+		out = append(out, stoke.WithBetas(sb, ob))
+	}
+	if o.RestartAfter != 0 {
+		out = append(out, stoke.WithRestartAfter(o.RestartAfter))
+	}
+	if o.MaxRefinements != 0 {
+		out = append(out, stoke.WithMaxRefinements(o.MaxRefinements))
+	}
+	if o.Verify.Budget != 0 {
+		out = append(out, stoke.WithVerify(o.Verify))
+	}
+	return out
+}
+
 // Parse reads assembly in the paper's AT&T-flavoured listing syntax.
-func Parse(src string) (*Program, error) { return x64.Parse(src) }
+//
+// Deprecated: use stoke.Parse.
+func Parse(src string) (*Program, error) { return stoke.Parse(src) }
 
 // MustParse is Parse, panicking on malformed input.
-func MustParse(src string) *Program { return x64.MustParse(src) }
+//
+// Deprecated: use stoke.MustParse.
+func MustParse(src string) *Program { return stoke.MustParse(src) }
 
 // KernelOption customises NewKernel.
-type KernelOption func(*kernelCfg)
-
-type kernelCfg struct {
-	inputs    []x64.Reg
-	inputs32  []x64.Reg
-	outputs   []testgen.LiveReg
-	stackSize int
-	sse       bool
-}
+//
+// Deprecated: use stoke.KernelOption.
+type KernelOption = stoke.KernelOption
 
 // WithInputs declares 64-bit input registers, sampled uniformly at random.
-func WithInputs(regs ...x64.Reg) KernelOption {
-	return func(c *kernelCfg) { c.inputs = append(c.inputs, regs...) }
-}
+//
+// Deprecated: use stoke.WithInputs.
+func WithInputs(regs ...x64.Reg) KernelOption { return stoke.WithInputs(regs...) }
 
 // WithInputs32 declares 32-bit input registers (the upper halves are zero).
-func WithInputs32(regs ...x64.Reg) KernelOption {
-	return func(c *kernelCfg) { c.inputs32 = append(c.inputs32, regs...) }
-}
+//
+// Deprecated: use stoke.WithInputs32.
+func WithInputs32(regs ...x64.Reg) KernelOption { return stoke.WithInputs32(regs...) }
 
 // WithOutput64 declares 64-bit live output registers.
-func WithOutput64(regs ...x64.Reg) KernelOption {
-	return func(c *kernelCfg) {
-		for _, r := range regs {
-			c.outputs = append(c.outputs, testgen.LiveReg{Reg: r, Width: 8})
-		}
-	}
-}
+//
+// Deprecated: use stoke.WithOutput64.
+func WithOutput64(regs ...x64.Reg) KernelOption { return stoke.WithOutput64(regs...) }
 
 // WithOutput32 declares 32-bit live output registers.
-func WithOutput32(regs ...x64.Reg) KernelOption {
-	return func(c *kernelCfg) {
-		for _, r := range regs {
-			c.outputs = append(c.outputs, testgen.LiveReg{Reg: r, Width: 4})
-		}
-	}
-}
+//
+// Deprecated: use stoke.WithOutput32.
+func WithOutput32(regs ...x64.Reg) KernelOption { return stoke.WithOutput32(regs...) }
 
-// WithStack provides a stack segment of the given size (default 512 bytes;
-// always present so rsp-relative scratch works).
-func WithStack(bytes int) KernelOption {
-	return func(c *kernelCfg) { c.stackSize = bytes }
-}
+// WithStack provides a stack segment of the given size.
+//
+// Deprecated: use stoke.WithStack.
+func WithStack(bytes int) KernelOption { return stoke.WithStack(bytes) }
 
 // WithSSE enables vector opcodes in the proposal distribution.
-func WithSSE() KernelOption {
-	return func(c *kernelCfg) { c.sse = true }
-}
+//
+// Deprecated: use stoke.WithVectorOps (kernel annotation) or the per-run
+// stoke.WithSSE option.
+func WithSSE() KernelOption { return stoke.WithVectorOps() }
 
 // NewKernel builds a register-to-register kernel description from a target
-// program and annotations. Memory-rich kernels (arrays, pointers) should
-// construct stoke.Kernel directly with a custom testgen.Spec — see
-// internal/kernels for full examples.
+// program and annotations.
+//
+// Deprecated: use stoke.NewKernel.
 func NewKernel(name string, target *Program, opts ...KernelOption) Kernel {
-	cfg := kernelCfg{stackSize: 512}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	spec := testgen.Spec{
-		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
-			a := testgen.NewArena(0x100000)
-			a.AllocStack(cfg.stackSize)
-			for _, r := range cfg.inputs {
-				a.SetReg(r, rng.Uint64())
-			}
-			for _, r := range cfg.inputs32 {
-				a.SetReg(r, uint64(rng.Uint32()))
-			}
-			return a.Snapshot()
-		},
-		LiveOut: testgen.LiveSet{GPRs: cfg.outputs},
-	}
-	return Kernel{
-		Name:     name,
-		Target:   target,
-		Spec:     spec,
-		Pointers: x64.RegSet(0).With(x64.RSP),
-		SSE:      cfg.sse,
-	}
+	return stoke.NewKernel(name, target, opts...)
 }
 
-// Optimize runs the full STOKE pipeline — testcase generation, parallel
-// synthesis and optimization MCMC chains, re-ranking, and validation with
-// counterexample-driven testcase refinement — and returns the best verified
-// rewrite.
+// Optimize runs the full STOKE pipeline and blocks until it finishes.
+//
+// Deprecated: use stoke.Optimize (or a shared stoke.Engine), which takes a
+// context.Context for cancellation and streams progress events.
 func Optimize(k Kernel, opts Options) (*Report, error) {
-	return stoke.Run(k, opts)
+	return stoke.Optimize(context.Background(), k, opts.options()...)
 }
 
 // Equivalent asks the sound validator whether two programs agree on the
 // given live output registers for every machine state (§5.2).
+//
+// Deprecated: use stoke.Equivalent, which takes a context.Context.
 func Equivalent(target, rewrite *Program, liveOut64 ...x64.Reg) verify.Result {
-	var live verify.LiveOut
-	for _, r := range liveOut64 {
-		live.GPRs = append(live.GPRs, testgen.LiveReg{Reg: r, Width: 8})
-	}
-	return verify.Equivalent(target, rewrite, live, verify.DefaultConfig)
+	return stoke.Equivalent(context.Background(), target, rewrite, liveOut64...)
 }
 
 // Benchmarks returns the paper's §6 suite: p01..p25 from Hacker's Delight,

@@ -7,19 +7,22 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/kernels"
 	"repro/internal/mcmc"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
-	"repro/internal/stoke"
 	"repro/internal/verify"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 // Profile scales search budgets.
@@ -38,32 +41,41 @@ type Profile struct {
 }
 
 // Quick is the profile used by the benchmark harness: seconds per kernel.
+// It is deliberately lighter than stoke.Quick (the CLI default) — the
+// harness runs 28 kernels per suite and caps verification.
 var Quick = Profile{
 	Seed: 1, SynthChains: 2, OptChains: 2,
 	SynthProposals: 80000, OptProposals: 120000, Ell: 20,
 	VerifyBudget: 100000,
 }
 
-// Full spends roughly a minute per kernel.
+// Full spends roughly a minute per kernel; its budgets come from
+// stoke.Full so `stoke -profile full` and `stoke-bench -profile full`
+// cannot drift apart.
 var Full = Profile{
-	Seed: 1, SynthChains: 4, OptChains: 4,
-	SynthProposals: 500000, OptProposals: 600000, Ell: 30,
+	Seed:           1,
+	SynthChains:    stoke.Full.SynthChains,
+	OptChains:      stoke.Full.OptChains,
+	SynthProposals: stoke.Full.SynthProposals,
+	OptProposals:   stoke.Full.OptProposals,
+	Ell:            stoke.Full.Ell,
 }
 
-func (p Profile) options() stoke.Options {
-	o := stoke.DefaultOptions
-	o.Seed = p.Seed
-	o.SynthChains = p.SynthChains
-	o.OptChains = p.OptChains
-	o.SynthProposals = p.SynthProposals
-	o.OptProposals = p.OptProposals
-	o.Ell = p.Ell
-	if p.VerifyBudget > 0 {
-		o.Verify.Budget = p.VerifyBudget
-		// Cheap verification profile: also cap formula size.
-		o.Verify.MaxTerms = 100000
+func (p Profile) options() []stoke.Option {
+	opts := []stoke.Option{
+		stoke.WithSeed(p.Seed),
+		stoke.WithChains(p.SynthChains, p.OptChains),
+		stoke.WithBudgets(p.SynthProposals, p.OptProposals),
+		stoke.WithEll(p.Ell),
 	}
-	return o
+	if p.VerifyBudget > 0 {
+		cfg := verify.DefaultConfig
+		cfg.Budget = p.VerifyBudget
+		// Cheap verification profile: also cap formula size.
+		cfg.MaxTerms = 100000
+		opts = append(opts, stoke.WithVerify(cfg))
+	}
+	return opts
 }
 
 // KernelRun is one kernel's outcome, shared by Figures 10 and 12.
@@ -79,51 +91,82 @@ type KernelRun struct {
 }
 
 // RunSuite optimizes every benchmark once; the result feeds Figures 10 and
-// 12 (mirroring the paper, which derives both from the same runs).
-func RunSuite(p Profile, w io.Writer) ([]KernelRun, error) {
-	var out []KernelRun
-	for _, b := range kernels.All() {
-		opts := p.options()
-		rep, err := stoke.Run(b.Kernel, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		kr := KernelRun{Bench: b, Report: rep}
-		base := pipeline.Cycles(b.Target)
-		speedup := func(prog *x64.Program) float64 {
-			if prog == nil {
-				return 0
+// 12 (mirroring the paper, which derives both from the same runs). A few
+// kernels at a time (pool width + 1) run concurrently on one shared engine
+// pool — enough chains in flight to saturate the workers, few enough that
+// kernels finish progressively; each kernel's progress line streams to w
+// as it completes (so completion order, not suite order), while the
+// returned slice stays in suite order.
+func RunSuite(ctx context.Context, p Profile, w io.Writer) ([]KernelRun, error) {
+	all := kernels.All()
+	e := stoke.NewEngine(stoke.EngineConfig{})
+	defer e.Close()
+
+	out := make([]KernelRun, len(all))
+	errs := make([]error, len(all))
+	var mu sync.Mutex // serializes progress lines on w
+	var wg sync.WaitGroup
+	// Bound in-flight kernels to slightly more than the pool width: enough
+	// concurrent chains to saturate the workers, few enough that kernels
+	// complete (and stream their lines) progressively instead of all
+	// finishing together in one burst at the end.
+	sem := make(chan struct{}, e.Workers()+1)
+	for i := range all {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b := all[i]
+			// Per-kernel seed offsets, as Engine.OptimizeAll applies.
+			opts := append(p.options(), stoke.WithSeed(p.Seed+int64(i)*stoke.KernelSeedStride))
+			rep, err := e.Optimize(ctx, b.Kernel, opts...)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", b.Name, err)
+				return
 			}
-			c := pipeline.Cycles(prog)
-			if c == 0 {
-				return 1
+			kr := KernelRun{Bench: b, Report: rep}
+			base := pipeline.Cycles(b.Target)
+			speedup := func(prog *x64.Program) float64 {
+				if prog == nil {
+					return 0
+				}
+				c := pipeline.Cycles(prog)
+				if c == 0 {
+					return 1
+				}
+				return base / c
 			}
-			return base / c
-		}
-		kr.GccSpeedup = speedup(b.GccO3)
-		kr.IccSpeedup = speedup(b.IccO3)
-		kr.StokeSpeedup = speedup(rep.Rewrite)
-		kr.PaperSpeedup = speedup(b.PaperRewrite)
-		out = append(out, kr)
-		if w != nil {
-			fmt.Fprintf(w, "# %-6s target=%2d insts rewrite=%2d insts stoke=%.2fx gcc=%.2fx verdict=%v synth=%v (%.1fs+%.1fs)\n",
-				b.Name, b.Target.InstCount(), rep.Rewrite.InstCount(),
-				kr.StokeSpeedup, kr.GccSpeedup, rep.Verdict, rep.SynthesisSucceeded,
-				rep.SynthTime.Seconds(), rep.OptTime.Seconds())
-		}
+			kr.GccSpeedup = speedup(b.GccO3)
+			kr.IccSpeedup = speedup(b.IccO3)
+			kr.StokeSpeedup = speedup(rep.Rewrite)
+			kr.PaperSpeedup = speedup(b.PaperRewrite)
+			out[i] = kr
+			if w != nil {
+				mu.Lock()
+				fmt.Fprintf(w, "# %-6s target=%2d insts rewrite=%2d insts stoke=%.2fx gcc=%.2fx verdict=%v synth=%v (%.1fs+%.1fs)\n",
+					b.Name, b.Target.InstCount(), rep.Rewrite.InstCount(),
+					kr.StokeSpeedup, kr.GccSpeedup, rep.Verdict, rep.SynthesisSucceeded,
+					rep.SynthTime.Seconds(), rep.OptTime.Seconds())
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Fig01Montgomery reproduces Figure 1: the Montgomery multiplication kernel
 // compiled by gcc -O3 versus the STOKE rewrite.
-func Fig01Montgomery(w io.Writer, p Profile) error {
+func Fig01Montgomery(ctx context.Context, w io.Writer, p Profile) error {
 	b, err := kernels.ByName("mont")
 	if err != nil {
 		return err
 	}
-	opts := p.options()
-	rep, err := stoke.Run(b.Kernel, opts)
+	rep, err := stoke.Optimize(ctx, b.Kernel, p.options()...)
 	if err != nil {
 		return err
 	}
@@ -168,7 +211,7 @@ func Fig02Throughput(w io.Writer) error {
 		start := time.Now()
 		n := 0
 		for time.Since(start) < 300*time.Millisecond {
-			verify.Equivalent(b.Target, other, live, cfg)
+			verify.Equivalent(context.Background(), b.Target, other, live, cfg)
 			n++
 		}
 		valRate := float64(n) / time.Since(start).Seconds()
@@ -239,7 +282,7 @@ func Fig03PredictedVsActual(w io.Writer) error {
 // Fig05EarlyTermination reproduces Figure 5: proposals per second versus
 // testcases evaluated per proposal during synthesis, under the
 // early-termination optimisation of §4.5.
-func Fig05EarlyTermination(w io.Writer, p Profile) error {
+func Fig05EarlyTermination(ctx context.Context, w io.Writer, p Profile) error {
 	b, err := kernels.ByName("mont")
 	if err != nil {
 		return err
@@ -271,7 +314,7 @@ func Fig05EarlyTermination(w io.Writer, p Profile) error {
 		}
 		lastProposals, lastTests, lastTime = st.Proposals, st.TestsEvaluated, now
 	}
-	res := s.Run(s.RandomProgram(), p.SynthProposals)
+	res := s.Run(ctx, s.RandomProgram(), p.SynthProposals)
 	perProp := float64(res.Stats.TestsEvaluated) / float64(res.Stats.Proposals)
 	fmt.Fprintf(w, "\noverall: %.2f testcases/proposal (32 without early termination, a %.1fx saving)\n",
 		perProp, 32/perProp)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ var tiny = Profile{
 
 func TestFig01(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig01Montgomery(&buf, tiny); err != nil {
+	if err := Fig01Montgomery(context.Background(), &buf, tiny); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -70,7 +71,7 @@ func TestFig11MatchesPaper(t *testing.T) {
 func TestFig07RunsAndOrdersModes(t *testing.T) {
 	var buf bytes.Buffer
 	// p01 converges fast enough for a test-budget comparison.
-	if err := Fig07CostFunctions(&buf, tiny, "p01"); err != nil {
+	if err := Fig07CostFunctions(context.Background(), &buf, tiny, "p01"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "improved") || !strings.Contains(buf.String(), "random") {
@@ -80,7 +81,7 @@ func TestFig07RunsAndOrdersModes(t *testing.T) {
 
 func TestFig08Runs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig08PercentOfFinal(&buf, tiny, "p01"); err != nil {
+	if err := Fig08PercentOfFinal(context.Background(), &buf, tiny, "p01"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "% of final") {

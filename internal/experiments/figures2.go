@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,9 +11,9 @@ import (
 	"repro/internal/emu"
 	"repro/internal/kernels"
 	"repro/internal/mcmc"
-	"repro/internal/stoke"
 	"repro/internal/testgen"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 // testcaseRate measures emulator testcase evaluations per second for one
@@ -56,7 +57,7 @@ func synthSampler(b kernels.Bench, p Profile, mode cost.Mode) (*mcmc.Sampler, []
 
 // Fig07CostFunctions reproduces Figure 7: synthesis under the improved cost
 // function, the strict cost function, and pure random search.
-func Fig07CostFunctions(w io.Writer, p Profile, kernel string) error {
+func Fig07CostFunctions(ctx context.Context, w io.Writer, p Profile, kernel string) error {
 	b, err := kernels.ByName(kernel)
 	if err != nil {
 		return err
@@ -103,7 +104,7 @@ func Fig07CostFunctions(w io.Writer, p Profile, kernel string) error {
 			}
 			se.pts = append(se.pts, best)
 		}
-		res := s.Run(s.RandomProgram(), p.SynthProposals)
+		res := s.Run(ctx, s.RandomProgram(), p.SynthProposals)
 		se.final = res.BestCost
 		return se, nil
 	}
@@ -136,7 +137,7 @@ func Fig07CostFunctions(w io.Writer, p Profile, kernel string) error {
 
 // Fig08PercentOfFinal reproduces Figure 8: best cost versus the percentage
 // of instructions shared with the final best rewrite during synthesis.
-func Fig08PercentOfFinal(w io.Writer, p Profile, kernel string) error {
+func Fig08PercentOfFinal(ctx context.Context, w io.Writer, p Profile, kernel string) error {
 	b, err := kernels.ByName(kernel)
 	if err != nil {
 		return err
@@ -157,7 +158,7 @@ func Fig08PercentOfFinal(w io.Writer, p Profile, kernel string) error {
 	s.OnImprove = func(iter int64, c float64, prog *x64.Program) {
 		snaps = append(snaps, snap{iter, c, prog})
 	}
-	res := s.Run(s.RandomProgram(), p.SynthProposals)
+	res := s.Run(ctx, s.RandomProgram(), p.SynthProposals)
 	if len(snaps) == 0 {
 		fmt.Fprintf(w, "no improvements recorded\n")
 		return nil
@@ -236,8 +237,8 @@ func Fig11Params(w io.Writer) {
 // Fig12Runtimes reproduces Figure 12 from suite runs: synthesis and
 // optimization times per kernel, with stars where synthesis failed.
 func Fig12Runtimes(w io.Writer, runs []KernelRun) {
-	fmt.Fprintf(w, "Figure 12: synthesis and optimization runtimes (s)\n")
-	fmt.Fprintf(w, "==================================================\n\n")
+	fmt.Fprintf(w, "Figure 12: synthesis and optimization chain time (s, summed across chains)\n")
+	fmt.Fprintf(w, "===========================================================================\n\n")
 	fmt.Fprintf(w, "%-8s %10s %10s %s\n", "kernel", "synthesis", "optimize", "")
 	for _, kr := range runs {
 		star := " "
@@ -255,12 +256,12 @@ func Fig12Runtimes(w io.Writer, runs []KernelRun) {
 
 // figListing is shared by Figures 13, 14 and 15: target, comparator, paper
 // rewrite and our discovered rewrite side by side.
-func figListing(w io.Writer, p Profile, name, caption, paperNote string) error {
+func figListing(ctx context.Context, w io.Writer, p Profile, name, caption, paperNote string) error {
 	b, err := kernels.ByName(name)
 	if err != nil {
 		return err
 	}
-	rep, err := stoke.Run(b.Kernel, p.options())
+	rep, err := stoke.Optimize(ctx, b.Kernel, p.options()...)
 	if err != nil {
 		return err
 	}
@@ -282,22 +283,22 @@ func figListing(w io.Writer, p Profile, name, caption, paperNote string) error {
 }
 
 // Fig13CycleThroughValues reproduces Figure 13 (p21).
-func Fig13CycleThroughValues(w io.Writer, p Profile) error {
-	return figListing(w, p, "p21",
+func Fig13CycleThroughValues(ctx context.Context, w io.Writer, p Profile) error {
+	return figListing(ctx, w, p, "p21",
 		"Figure 13: Cycling Through 3 Values (p21)",
 		"paper: gcc -O3 transcribes the esoteric bit-twiddling literally; STOKE\nrediscovers the conditional-move implementation")
 }
 
 // Fig14Saxpy reproduces Figure 14.
-func Fig14Saxpy(w io.Writer, p Profile) error {
-	return figListing(w, p, "saxpy",
+func Fig14Saxpy(ctx context.Context, w io.Writer, p Profile) error {
+	return figListing(ctx, w, p, "saxpy",
 		"Figure 14: SAXPY",
 		"paper: gcc -O3 stays scalar; STOKE discovers the SSE vector implementation")
 }
 
 // Fig15LinkedList reproduces Figure 15.
-func Fig15LinkedList(w io.Writer, p Profile) error {
-	return figListing(w, p, "list",
+func Fig15LinkedList(ctx context.Context, w io.Writer, p Profile) error {
+	return figListing(ctx, w, p, "list",
 		"Figure 15: Linked List Traversal",
 		"paper: STOKE eliminates in-fragment stack traffic and strength-reduces the\nmultiply, but cannot cache the head pointer across iterations (the stated\nlimitation: the framework stops at loop-free fragments)")
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/cc"
-	"repro/internal/stoke"
 	"repro/internal/verify"
 	"repro/internal/x64"
+	"repro/stoke"
 )
 
 // Bench is one benchmark of §6: a STOKE kernel (the llvm -O0 style target

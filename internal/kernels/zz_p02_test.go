@@ -1,28 +1,26 @@
 package kernels
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/stoke"
 	"repro/internal/verify"
+	"repro/stoke"
 )
 
 func TestDebugP02Unknown(t *testing.T) {
 	b, _ := ByName("p02")
-	opts := stoke.DefaultOptions
-	opts.Seed = 1
-	opts.SynthChains = 2
-	opts.OptChains = 2
-	opts.SynthProposals = 80000
-	opts.OptProposals = 120000
-	opts.Ell = 20
-	rep, err := stoke.Run(b.Kernel, opts)
+	rep, err := stoke.Optimize(context.Background(), b.Kernel,
+		stoke.WithSeed(1),
+		stoke.WithChains(2, 2),
+		stoke.WithBudgets(80000, 120000),
+		stoke.WithEll(20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("verdict=%v refinements=%d rewrite:\n%s", rep.Verdict, rep.Refinements, rep.Rewrite)
 	live := verify.LiveOut{GPRs: b.Spec.LiveOut.GPRs}
-	res := verify.Equivalent(b.Target, rep.Rewrite, live, verify.DefaultConfig)
+	res := verify.Equivalent(context.Background(), b.Target, rep.Rewrite, live, verify.DefaultConfig)
 	t.Logf("direct verify: %v reason=%q conflicts=%d", res.Verdict, res.Reason, res.Conflicts)
 	if res.Cex != nil {
 		t.Logf("cex rdi=%#x", res.Cex.Regs[7])

@@ -9,6 +9,7 @@
 package mcmc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -187,8 +188,19 @@ type Result struct {
 	Stats    Stats
 }
 
+// ctxCheckInterval is how many proposals pass between context polls: cheap
+// enough to be invisible at ~100k proposals/s, fine-grained enough that a
+// cancelled chain stops within milliseconds.
+const ctxCheckInterval = 1024
+
 // Run performs `proposals` Metropolis-Hastings steps starting from start.
-func (s *Sampler) Run(start *x64.Program, proposals int64) Result {
+// The context is polled every ctxCheckInterval proposals; on cancellation
+// the chain stops early and returns the best-so-far result (the caller
+// distinguishes a cut-short chain via its own ctx).
+func (s *Sampler) Run(ctx context.Context, start *x64.Program, proposals int64) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.Params.Ell == 0 {
 		s.Params = PaperParams
 	}
@@ -211,6 +223,9 @@ func (s *Sampler) Run(start *x64.Program, proposals int64) Result {
 
 	scratch := cur.Clone()
 	for i := int64(0); i < proposals; i++ {
+		if i%ctxCheckInterval == 0 && ctx.Err() != nil {
+			break
+		}
 		s.Stats.Proposals++
 		sinceImprove++
 

@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -130,7 +131,7 @@ func TestOptimizationShrinksVerboseCode(t *testing.T) {
 	s := newSampler(t, target, spec, cost.Improved, 1.0, 16, 17)
 	s.Params.Beta = 1.0 // optimization runs colder than synthesis (see DESIGN.md)
 	s.RestartAfter = 10000
-	res := s.Run(target, 150000)
+	res := s.Run(context.Background(), target, 150000)
 	if !res.ZeroCost || res.BestCorrect == nil {
 		t.Fatalf("optimization lost correctness: best cost %v\n%s", res.BestCost, res.Best)
 	}
@@ -153,7 +154,7 @@ func TestSynthesisFindsTrivialKernel(t *testing.T) {
 	spec := identitySpec()
 	s := newSampler(t, target, spec, cost.Improved, 0, 8, 23)
 	start := s.RandomProgram()
-	res := s.Run(start, 150000)
+	res := s.Run(context.Background(), start, 150000)
 	if !res.ZeroCost {
 		t.Fatalf("synthesis failed: best cost %v\n%s", res.BestCost, res.Best)
 	}
@@ -169,7 +170,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 	spec := identitySpec()
 	run := func() string {
 		s := newSampler(t, target, spec, cost.Improved, 1.0, 12, 31)
-		return s.Run(target, 5000).Best.String()
+		return s.Run(context.Background(), target, 5000).Best.String()
 	}
 	if run() != run() {
 		t.Fatal("same seed must give same search trajectory")
@@ -182,7 +183,7 @@ func TestEarlyTerminationReducesWork(t *testing.T) {
 
 	s := newSampler(t, target, spec, cost.Improved, 0, 12, 37)
 	start := s.RandomProgram()
-	res := s.Run(start.Clone(), 20000)
+	res := s.Run(context.Background(), start.Clone(), 20000)
 	perProposal := float64(res.Stats.TestsEvaluated) / float64(res.Stats.Proposals)
 
 	// Without the bound every proposal would evaluate all 32 testcases;
@@ -207,7 +208,7 @@ func TestStatsCallbacks(t *testing.T) {
 			t.Error("OnImprove delivered invalid program")
 		}
 	}
-	s.Run(s.RandomProgram(), 5000)
+	s.Run(context.Background(), s.RandomProgram(), 5000)
 	if steps == 0 {
 		t.Error("OnStep never fired")
 	}

@@ -103,6 +103,11 @@ type Solver struct {
 	// exceeding it yields Unknown. Zero means unlimited.
 	Budget int64
 
+	// Stop, when set, is polled periodically during search (every 256
+	// conflicts); returning true aborts the solve with Unknown. It is how
+	// callers thread context cancellation into a running proof.
+	Stop func() bool
+
 	unsat bool
 }
 
@@ -557,6 +562,9 @@ func (s *Solver) search() Status {
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			if s.Budget > 0 && s.conflicts-conflictsAtStart > s.Budget {
+				return Unknown
+			}
+			if s.Stop != nil && s.conflicts&255 == 0 && s.Stop() {
 				return Unknown
 			}
 			if s.conflicts-conflictsAtStart > limit {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bv"
@@ -78,7 +79,15 @@ type Result struct {
 
 // Equivalent asks whether target and rewrite produce identical side effects
 // on the live outputs for every initial machine state (Equation 7 / §5.2).
-func Equivalent(target, rewrite *x64.Program, live LiveOut, cfg Config) Result {
+// The context cancels a running proof: the SAT search polls it and a
+// cancelled query answers Unknown with reason "cancelled".
+func Equivalent(ctx context.Context, target, rewrite *x64.Program, live LiveOut, cfg Config) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return Result{Verdict: Unknown, Reason: "cancelled"}
+	}
 	b := bv.NewBuilder()
 	sT := newSymState(b, cfg)
 	sT.Exec(target)
@@ -144,6 +153,7 @@ func Equivalent(target, rewrite *x64.Program, live LiveOut, cfg Config) Result {
 
 	s := sat.New()
 	s.Budget = cfg.Budget
+	s.Stop = func() bool { return ctx.Err() != nil }
 	bl := bv.NewBlaster(s)
 	bl.AssertTrue(diff)
 	bl.AssertFunConsistency(b)
@@ -155,7 +165,11 @@ func Equivalent(target, rewrite *x64.Program, live LiveOut, cfg Config) Result {
 		res.Verdict = Equal
 	case sat.Unknown:
 		res.Verdict = Unknown
-		res.Reason = "conflict budget exhausted"
+		if ctx.Err() != nil {
+			res.Reason = "cancelled"
+		} else {
+			res.Reason = "conflict budget exhausted"
+		}
 	case sat.Sat:
 		res.Verdict = NotEqual
 		res.Cex = extractCex(b, bl, model)

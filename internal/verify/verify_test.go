@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func liveRAX() LiveOut {
 
 func TestEqualIdenticalPrograms(t *testing.T) {
 	p := x64.MustParse("movq rdi, rax\naddq rsi, rax")
-	res := Equivalent(p, p, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), p, p, liveRAX(), DefaultConfig)
 	if res.Verdict != Equal {
 		t.Fatalf("identical programs: %v (%s)", res.Verdict, res.Reason)
 	}
@@ -42,7 +43,7 @@ func TestEqualSemanticRewrites(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			a, b := x64.MustParse(c.a), x64.MustParse(c.b)
-			res := Equivalent(a, b, liveRAX(), DefaultConfig)
+			res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 			if res.Verdict != Equal {
 				t.Fatalf("verdict %v (%s), want equal", res.Verdict, res.Reason)
 			}
@@ -53,7 +54,7 @@ func TestEqualSemanticRewrites(t *testing.T) {
 func TestNotEqualWithCounterexample(t *testing.T) {
 	a := x64.MustParse("movq rdi, rax\naddq rsi, rax")
 	b := x64.MustParse("movq rdi, rax\nsubq rsi, rax")
-	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 	if res.Verdict != NotEqual {
 		t.Fatalf("verdict %v, want not-equal", res.Verdict)
 	}
@@ -97,13 +98,13 @@ func cexDistinguishes(t *testing.T, a, b *x64.Program, cex *Counterexample, live
 func TestDeadCodeIgnored(t *testing.T) {
 	a := x64.MustParse("movq rdi, rax\nmovq 123, rcx\nmovq rcx, rdx")
 	b := x64.MustParse("movq rdi, rax")
-	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 	if res.Verdict != Equal {
 		t.Fatalf("dead code must not affect live-out equality: %v", res.Verdict)
 	}
 	// But with rcx live, they differ.
 	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RCX, Width: 8}}}
-	res = Equivalent(a, b, live, DefaultConfig)
+	res = Equivalent(context.Background(), a, b, live, DefaultConfig)
 	if res.Verdict != NotEqual {
 		t.Fatalf("rcx difference missed: %v", res.Verdict)
 	}
@@ -116,7 +117,7 @@ func TestMemoryEquivalence(t *testing.T) {
   movq -8(rsp), rax
 `)
 	b := x64.MustParse("movq rdi, rax")
-	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 	if res.Verdict != Equal {
 		t.Fatalf("stack roundtrip: %v (%s)", res.Verdict, res.Reason)
 	}
@@ -127,7 +128,7 @@ func TestMemoryAliasingRespected(t *testing.T) {
 	// [rdi] vs rax = [rsi] differ unless rdi == rsi.
 	a := x64.MustParse("movq (rdi), rax")
 	b := x64.MustParse("movq (rsi), rax")
-	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 	if res.Verdict != NotEqual {
 		t.Fatalf("aliasing: %v, want not-equal", res.Verdict)
 	}
@@ -137,12 +138,12 @@ func TestLiveMemoryCompared(t *testing.T) {
 	a := x64.MustParse("movl 7, (rdi)")
 	b := x64.MustParse("movl 8, (rdi)")
 	live := LiveOut{Mem: []MemRange{{Base: x64.RDI, Disp: 0, Len: 4}}}
-	res := Equivalent(a, b, live, DefaultConfig)
+	res := Equivalent(context.Background(), a, b, live, DefaultConfig)
 	if res.Verdict != NotEqual {
 		t.Fatalf("live memory difference missed: %v", res.Verdict)
 	}
 	c := x64.MustParse("movl 3, (rdi)\nmovl 7, (rdi)")
-	res = Equivalent(a, c, live, DefaultConfig)
+	res = Equivalent(context.Background(), a, c, live, DefaultConfig)
 	if res.Verdict != Equal {
 		t.Fatalf("overwritten store: %v (%s)", res.Verdict, res.Reason)
 	}
@@ -157,7 +158,7 @@ func TestStackScratchNotLive(t *testing.T) {
   addq -16(rsp), rax
 `)
 	b := x64.MustParse("leaq (rdi,rsi), rax")
-	res := Equivalent(a, b, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, b, liveRAX(), DefaultConfig)
 	if res.Verdict != Equal {
 		t.Fatalf("stack scratch: %v (%s)", res.Verdict, res.Reason)
 	}
@@ -165,7 +166,7 @@ func TestStackScratchNotLive(t *testing.T) {
 
 func TestUnsupportedDiv(t *testing.T) {
 	a := x64.MustParse("divq rsi")
-	res := Equivalent(a, a, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), a, a, liveRAX(), DefaultConfig)
 	if res.Verdict != Unsupported {
 		t.Fatalf("div: %v, want unsupported", res.Verdict)
 	}
@@ -175,11 +176,11 @@ func TestFlagsLiveOut(t *testing.T) {
 	a := x64.MustParse("cmpq rsi, rdi")
 	b := x64.MustParse("cmpq rdi, rsi")
 	live := LiveOut{Flags: x64.ZF}
-	if res := Equivalent(a, b, live, DefaultConfig); res.Verdict != Equal {
+	if res := Equivalent(context.Background(), a, b, live, DefaultConfig); res.Verdict != Equal {
 		t.Fatalf("ZF symmetric compare: %v", res.Verdict)
 	}
 	live = LiveOut{Flags: x64.CF}
-	if res := Equivalent(a, b, live, DefaultConfig); res.Verdict != NotEqual {
+	if res := Equivalent(context.Background(), a, b, live, DefaultConfig); res.Verdict != NotEqual {
 		t.Fatalf("CF asymmetric compare: %v", res.Verdict)
 	}
 }
@@ -346,7 +347,7 @@ func TestMontgomeryRewritesAgreeOnTestInputs(t *testing.T) {
 	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.R8, Width: 8}, {Reg: x64.RDI, Width: 8}}}
 	cfg := DefaultConfig
 	cfg.Budget = 20000
-	res := Equivalent(gcc, stoke, live, cfg)
+	res := Equivalent(context.Background(), gcc, stoke, live, cfg)
 	switch res.Verdict {
 	case Equal:
 		t.Log("proved equal (unexpected but welcome)")
@@ -374,7 +375,7 @@ func TestVerifierCatchesSubtleBug(t *testing.T) {
   addq 0, rdx
 `)
 	live := LiveOut{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}, {Reg: x64.RDX, Width: 8}}}
-	res := Equivalent(a, b, live, DefaultConfig)
+	res := Equivalent(context.Background(), a, b, live, DefaultConfig)
 	if res.Verdict != NotEqual {
 		t.Fatalf("carry-chain bug missed: %v", res.Verdict)
 	}
@@ -399,7 +400,7 @@ func TestForwardBranchGuards(t *testing.T) {
   xorq rcx, rax
   subq rcx, rax
 `)
-	res := Equivalent(branchy, branchFree, liveRAX(), DefaultConfig)
+	res := Equivalent(context.Background(), branchy, branchFree, liveRAX(), DefaultConfig)
 	if res.Verdict != Equal {
 		var detail string
 		if res.Cex != nil {

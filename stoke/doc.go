@@ -1,0 +1,42 @@
+// Package stoke is the public API of the STOKE reproduction: a stochastic
+// superoptimizer for loop-free x86-64 code (Schkufza, Sharma, Aiken:
+// "Stochastic Superoptimization", ASPLOS 2013).
+//
+// The entry point is an Engine, a reusable, concurrency-safe scheduler that
+// runs MCMC search chains — possibly from several kernels at once — on one
+// shared worker pool:
+//
+//	engine := stoke.NewEngine(stoke.EngineConfig{})
+//	defer engine.Close()
+//
+//	target := stoke.MustParse(`
+//	  movq rdi, -8(rsp)
+//	  movq rsi, -16(rsp)
+//	  movq -8(rsp), rax
+//	  addq -16(rsp), rax
+//	`)
+//	kernel := stoke.NewKernel("add", target,
+//	    stoke.WithInputs(stoke.RDI, stoke.RSI),
+//	    stoke.WithOutput64(stoke.RAX))
+//
+//	report, err := engine.Optimize(ctx, kernel,
+//	    stoke.WithSeed(1),
+//	    stoke.WithObserver(func(ev stoke.Event) { fmt.Println(ev) }))
+//	fmt.Println(report.Rewrite)   // e.g. leaq (rdi,rsi), rax
+//
+// Every run takes a context.Context: cancellation or a deadline stops the
+// search chains and the validator promptly, and Optimize returns the
+// best-so-far Report with its Partial flag set rather than an error.
+// Engine.OptimizeAll schedules the chains of many kernels onto the same
+// pool, interleaving their work so the pool stays saturated.
+//
+// Search knobs are functional options (WithBudgets, WithChains, WithBetas,
+// WithRestartAfter, ...), so explicit zero values — disabling restarts,
+// say — are expressible. WithObserver streams typed progress events (phase
+// transitions, per-chain best costs, refinement testcases, validator
+// verdicts) to a callback, which is how a server or dashboard watches a
+// run live.
+//
+// For one-shot use without managing an Engine, the package-level Optimize
+// creates a transient pool sized to the machine.
+package stoke

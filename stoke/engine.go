@@ -1,0 +1,185 @@
+package stoke
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mcmc"
+)
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Workers is the number of pool goroutines executing search chains.
+	// Zero takes GOMAXPROCS.
+	Workers int
+}
+
+// Engine schedules MCMC search chains onto a fixed worker pool. One Engine
+// serves any number of Optimize and OptimizeAll calls, concurrently: chains
+// from all active runs interleave on the same workers, so a multi-kernel
+// workload saturates the pool instead of oversubscribing the machine with
+// per-run pools.
+//
+// The zero Engine is not usable; construct with NewEngine and release with
+// Close once every run has returned.
+type Engine struct {
+	workers int
+	tasks   chan func()
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewEngine starts a worker pool and returns the Engine owning it.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: cfg.Workers, tasks: make(chan func())}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for f := range e.tasks {
+				f()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts the worker pool down and waits for the workers to exit. It
+// must not race with in-flight Optimize calls; cancel their contexts and
+// wait for them to return first.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.tasks) })
+	e.wg.Wait()
+}
+
+// Optimize runs the full STOKE pipeline (Figure 9) on one kernel: testcase
+// generation, parallel synthesis and optimization chains scheduled on the
+// engine's pool, 20%-window re-ranking, and validation with
+// counterexample-driven testcase refinement.
+//
+// Cancelling ctx stops the run promptly and returns the best-so-far Report
+// with Partial set — not an error. Errors are reserved for malformed
+// kernels (testcase generation failure).
+func (e *Engine) Optimize(ctx context.Context, k Kernel, opts ...Option) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.optimize(ctx, k, resolve(opts))
+}
+
+// KernelSeedStride is the per-kernel seed offset OptimizeAll applies
+// (kernel i runs at seed + i*KernelSeedStride), exported so harnesses that
+// fan kernels out themselves stay seed-compatible with OptimizeAll.
+const KernelSeedStride = 1_000_003
+
+// OptimizeAll optimizes every kernel under the same options, scheduling all
+// their chains onto the shared pool at once; the pool interleaves work from
+// every kernel, so fast kernels never leave workers idle while slow ones
+// finish. Reports are returned in kernel order. Each kernel's seed is
+// offset by its index so equal kernels still explore independently.
+func (e *Engine) OptimizeAll(ctx context.Context, kernels []Kernel, opts ...Option) ([]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := resolve(opts)
+	reports := make([]*Report, len(kernels))
+	errs := make([]error, len(kernels))
+	var wg sync.WaitGroup
+	for i := range kernels {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sti := st
+			sti.seed += int64(i) * KernelSeedStride
+			reports[i], errs[i] = e.optimize(ctx, kernels[i], sti)
+		}(i)
+	}
+	wg.Wait()
+	return reports, errors.Join(errs...)
+}
+
+// Optimize is the one-shot convenience: it runs one kernel on a transient
+// Engine sized to the machine. Long-lived callers should share an Engine.
+func Optimize(ctx context.Context, k Kernel, opts ...Option) (*Report, error) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+	return e.Optimize(ctx, k, opts...)
+}
+
+// runChains schedules n chain bodies onto the pool and waits for all of
+// them. Results are indexed by chain, so outcomes are independent of which
+// worker ran what. Bodies must honour ctx themselves (the samplers poll
+// it); runChains only refrains from scheduling not-yet-queued chains once
+// ctx is cancelled.
+//
+// The returned duration is the aggregate time workers spent executing
+// these chains — queueing behind other runs on the shared pool is
+// excluded, so a kernel's reported phase times stay meaningful however
+// many kernels the pool is juggling.
+func (e *Engine) runChains(ctx context.Context, n int, body func(i int) mcmc.Result) ([]mcmc.Result, time.Duration) {
+	results := make([]mcmc.Result, n)
+	var busy atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break // remaining chains would be cancelled on arrival anyway
+		}
+		i := i
+		wg.Add(1)
+		f := func() {
+			defer wg.Done()
+			start := time.Now()
+			results[i] = body(i)
+			busy.Add(int64(time.Since(start)))
+		}
+		// Selecting on ctx keeps a cancelled run from blocking behind
+		// other runs' long-lived chains still occupying the workers.
+		select {
+		case e.tasks <- f:
+		case <-ctx.Done():
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return results, time.Duration(busy.Load())
+}
+
+// runTask executes f as one pool task and waits for it, so expensive
+// non-chain work (SAT verification) also honours the Workers cap instead of
+// oversubscribing the machine when many kernels validate at once. Once ctx
+// is cancelled f runs inline: pool order no longer matters and f is
+// expected to short-circuit.
+func (e *Engine) runTask(ctx context.Context, f func()) {
+	done := make(chan struct{})
+	g := func() {
+		defer close(done)
+		f()
+	}
+	select {
+	case e.tasks <- g:
+		<-done
+	case <-ctx.Done():
+		g()
+	}
+}
+
+// emit delivers one event to the run's observer, serialized per run.
+func (e *Engine) emit(st *settings, ev Event) {
+	if st.observer == nil {
+		return
+	}
+	st.emitMu.Lock()
+	defer st.emitMu.Unlock()
+	st.observer(ev)
+}

@@ -1,0 +1,95 @@
+package stoke
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/verify"
+)
+
+// EventKind discriminates progress events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventPhaseStart and EventPhaseEnd bracket the "synthesis",
+	// "optimization" and "validation" phases of a run; optimization and
+	// validation repeat once per refinement round.
+	EventPhaseStart EventKind = iota
+	EventPhaseEnd
+	// EventChainImproved reports a chain's best cost dropping.
+	EventChainImproved
+	// EventRefinement reports a counterexample testcase folded into τ.
+	EventRefinement
+	// EventVerdict reports one validator query's outcome.
+	EventVerdict
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventPhaseStart:
+		return "phase-start"
+	case EventPhaseEnd:
+		return "phase-end"
+	case EventChainImproved:
+		return "chain-improved"
+	case EventRefinement:
+		return "refinement"
+	case EventVerdict:
+		return "verdict"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one typed progress report from a running optimization. Fields
+// beyond Kind and Kernel are populated per kind, as documented.
+type Event struct {
+	Kind   EventKind
+	Kernel string
+
+	// Phase is "synthesis", "optimization" or "validation" (phase and
+	// chain events).
+	Phase string
+
+	// Round is the refinement round, starting at 0 (optimization and
+	// validation events).
+	Round int
+
+	// Chain identifies the reporting chain within its phase
+	// (EventChainImproved).
+	Chain int
+
+	// Proposal is the chain-local proposal index at which the improvement
+	// occurred (EventChainImproved).
+	Proposal int64
+
+	// Cost is the chain's new best cost (EventChainImproved).
+	Cost float64
+
+	// Tests is the testcase count after refinement (EventRefinement).
+	Tests int
+
+	// Verdict is the validator's answer (EventVerdict).
+	Verdict verify.Verdict
+
+	// Elapsed is the phase duration (EventPhaseEnd).
+	Elapsed time.Duration
+}
+
+// String renders the event as a single log-friendly line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPhaseStart:
+		return fmt.Sprintf("[%s] %s round %d: start", e.Kernel, e.Phase, e.Round)
+	case EventPhaseEnd:
+		return fmt.Sprintf("[%s] %s round %d: done in %v", e.Kernel, e.Phase, e.Round, e.Elapsed)
+	case EventChainImproved:
+		return fmt.Sprintf("[%s] %s chain %d: cost %.1f at proposal %d",
+			e.Kernel, e.Phase, e.Chain, e.Cost, e.Proposal)
+	case EventRefinement:
+		return fmt.Sprintf("[%s] refinement: counterexample folded in, %d testcases", e.Kernel, e.Tests)
+	case EventVerdict:
+		return fmt.Sprintf("[%s] validator: %v", e.Kernel, e.Verdict)
+	}
+	return fmt.Sprintf("[%s] %v", e.Kernel, e.Kind)
+}

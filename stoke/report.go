@@ -1,0 +1,53 @@
+package stoke
+
+import (
+	"time"
+
+	"repro/internal/mcmc"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// Report is the outcome of one kernel run.
+type Report struct {
+	Kernel  string
+	Target  *x64.Program
+	Rewrite *x64.Program // best correct rewrite (possibly the target itself)
+
+	// Partial marks a run cut short by context cancellation: Rewrite is
+	// the best candidate seen so far (the target when nothing better was
+	// found) and Verdict reflects however far validation got.
+	Partial bool
+
+	// SynthesisSucceeded reports whether any synthesis chain reached a
+	// zero-cost rewrite from a random start (Figure 12's starred kernels
+	// are the failures).
+	SynthesisSucceeded bool
+
+	// Verdict is the validator's word on the final rewrite.
+	Verdict verify.Verdict
+
+	// Cycle estimates for target and rewrite under the pipeline model
+	// (the static Equation 13 estimate is available via internal/perf.H).
+	TargetCycles, RewriteCycles float64
+
+	// SynthTime and OptTime are the aggregate time workers spent running
+	// this kernel's chains (summed across chains, excluding time queued
+	// behind other kernels on a shared pool); VerifyTime is validator
+	// wall-clock.
+	SynthTime, OptTime, VerifyTime time.Duration
+
+	// Refinements counts counterexample testcases folded back in.
+	Refinements int
+
+	Stats mcmc.Stats
+	Tests int
+}
+
+// Speedup is the modelled speedup of the rewrite over the target.
+func (r *Report) Speedup() float64 {
+	if r.RewriteCycles == 0 {
+		return 1
+	}
+	return r.TargetCycles / r.RewriteCycles
+}

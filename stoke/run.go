@@ -1,0 +1,311 @@
+// The system driver of Figure 9: it wires together testcase generation,
+// parallel synthesis and optimization chains, the 20% re-ranking window,
+// and the validator-in-the-loop testcase refinement, and returns the best
+// verified rewrite for a kernel.
+
+package stoke
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/mcmc"
+	"repro/internal/pipeline"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// optimize executes the full STOKE pipeline on one kernel.
+func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, error) {
+	rng := rand.New(rand.NewSource(st.seed))
+	sse := k.SSE
+	if st.sse != nil {
+		sse = *st.sse
+	}
+
+	tests, err := testgen.Generate(k.Target, k.Spec, st.tests, rng)
+	if err != nil {
+		return nil, fmt.Errorf("stoke: %s: %w", k.Name, err)
+	}
+
+	rep := &Report{Kernel: k.Name, Target: k.Target, Tests: len(tests)}
+	pools := mcmc.PoolsFor(k.Target, sse)
+
+	// finish stamps the cycle-model fields on the way out; every return
+	// path below funnels through it.
+	finish := func(best *x64.Program, verdict verify.Verdict, partial bool) *Report {
+		if best == nil {
+			best = k.Target.Clone()
+		}
+		rep.Verdict = verdict
+		rep.Rewrite = best.Packed()
+		rep.Partial = partial
+		rep.Tests = len(tests)
+		rep.TargetCycles = pipeline.Cycles(k.Target)
+		rep.RewriteCycles = pipeline.Cycles(rep.Rewrite)
+		return rep
+	}
+
+	// --- Synthesis phase (§4.4): correctness only, random starts. ---
+	e.emit(&st, Event{Kind: EventPhaseStart, Kernel: k.Name, Phase: "synthesis"})
+	start := time.Now()
+	synthResults, synthBusy := e.runChains(ctx, st.synthChains, func(i int) mcmc.Result {
+		params := mcmc.PaperParams
+		params.Ell = st.ell
+		params.Beta = st.synthBeta
+		s := &mcmc.Sampler{
+			Params: params,
+			Pools:  pools,
+			Cost:   cost.New(tests, k.Spec.LiveOut, cost.Improved, 0),
+			Rng:    rand.New(rand.NewSource(st.seed + 1000 + int64(i))),
+		}
+		s.OnImprove = func(iter int64, c float64, p *x64.Program) {
+			e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
+				Phase: "synthesis", Chain: i, Proposal: iter, Cost: c})
+		}
+		return s.Run(ctx, s.RandomProgram(), st.synthProposals)
+	})
+	// Aggregate chain-execution time, not wall-clock: on a shared pool a
+	// kernel's wall-clock includes every other kernel's queueing.
+	rep.SynthTime = synthBusy
+	e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name, Phase: "synthesis",
+		Elapsed: time.Since(start)})
+
+	// Candidate starting points for optimization: the target plus every
+	// synthesized zero-cost rewrite.
+	starts := []*x64.Program{k.Target}
+	for _, r := range synthResults {
+		rep.Stats.Proposals += r.Stats.Proposals
+		rep.Stats.Accepts += r.Stats.Accepts
+		rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+		if r.ZeroCost && r.BestCorrect != nil {
+			rep.SynthesisSucceeded = true
+			starts = append(starts, r.BestCorrect)
+		}
+	}
+
+	if ctx.Err() != nil {
+		// Cancelled before optimization explored anything: hand back the
+		// fastest of the target and any synthesized zero-cost rewrites,
+		// matching the mid-optimization cancel path below. The target
+		// always survives (correct by construction), so best is non-nil.
+		best := fastestSurvivor(starts, tests, k, 1e30)
+		if best == nil || best == k.Target {
+			return finish(nil, verify.Equal, true), nil
+		}
+		return finish(best, verify.Unknown, true), nil
+	}
+
+	// --- Optimization phase (§4.4) with validator-driven testcase
+	// refinement (§4.1): run the chains, validate the fastest surviving
+	// candidate, and on a genuine counterexample fold it into τ and run
+	// the optimization again over the refined search space. ---
+	live := verify.LiveOut{
+		GPRs:  k.Spec.LiveOut.GPRs,
+		Xmms:  k.Spec.LiveOut.Xmms,
+		Flags: k.Spec.LiveOut.Flags,
+		Mem:   k.LiveMem,
+	}
+	m := emu.New()
+	chainSeed := st.seed + 2000
+	var best *x64.Program
+	verdict := verify.Equal
+
+	// verifyCancelled marks a proof attempt cut short by ctx: the only way
+	// a run that reaches the final return below was truncated. (Chains cut
+	// short mid-optimization take the early-return path instead.)
+	verifyCancelled := false
+
+	// allCandidates accumulates every round's testcase-correct programs so
+	// a cancellation during a refinement round can still fall back on
+	// earlier rounds' work (fastestSurvivor re-filters against the refined
+	// testcases, so stale candidates are safe to carry).
+	var allCandidates []*x64.Program
+
+	for round := 0; ; round++ {
+		e.emit(&st, Event{Kind: EventPhaseStart, Kernel: k.Name,
+			Phase: "optimization", Round: round})
+		start = time.Now()
+		budget := st.optProposals
+		if round > 0 {
+			budget /= 2 // refinement rounds re-optimize with a lighter budget
+		}
+		optResults, optBusy := e.runChains(ctx, st.optChains*len(starts), func(i int) mcmc.Result {
+			params := mcmc.PaperParams
+			params.Ell = st.ell
+			params.Beta = st.optBeta
+			s := &mcmc.Sampler{
+				Params:       params,
+				Pools:        pools,
+				Cost:         cost.New(tests, k.Spec.LiveOut, cost.Improved, 1),
+				Rng:          rand.New(rand.NewSource(chainSeed + int64(i))),
+				RestartAfter: st.restartAfter,
+			}
+			s.OnImprove = func(iter int64, c float64, p *x64.Program) {
+				e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
+					Phase: "optimization", Round: round, Chain: i,
+					Proposal: iter, Cost: c})
+			}
+			return s.Run(ctx, starts[i%len(starts)], budget)
+		})
+		chainSeed += int64(st.optChains*len(starts)) + 7
+		rep.OptTime += optBusy
+		e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name,
+			Phase: "optimization", Round: round, Elapsed: time.Since(start)})
+
+		var candidates []*x64.Program
+		bestCost := 1e30
+		for _, r := range optResults {
+			rep.Stats.Proposals += r.Stats.Proposals
+			rep.Stats.Accepts += r.Stats.Accepts
+			rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+			if r.BestCorrect != nil {
+				candidates = append(candidates, r.BestCorrect)
+				if r.BestCorrectCost < bestCost {
+					bestCost = r.BestCorrectCost
+				}
+			}
+		}
+		allCandidates = append(allCandidates, candidates...)
+
+		if ctx.Err() != nil {
+			// Cancelled mid-optimization: hand back the fastest
+			// testcase-correct program without spending time on a proof.
+			// Earlier rounds' candidates and starts join the pool — chains
+			// that never got scheduled must not cost us the target, a
+			// synthesized zero-cost rewrite, or a prior round's find — and
+			// the cost window is disabled (correctness only).
+			best = fastestSurvivor(append(allCandidates, starts...), tests, k, 1e30)
+			if best == nil || best == k.Target {
+				return finish(nil, verify.Equal, true), nil
+			}
+			return finish(best, verify.Unknown, true), nil
+		}
+
+		// Re-ranking (Figure 9, step 6) and validation: pick the fastest
+		// candidate within 20% of the minimum cost that passes every
+		// (possibly refined) testcase; genuine counterexamples shrink the
+		// candidate pool without re-searching, and trigger a re-search
+		// while refinement rounds remain.
+		e.emit(&st, Event{Kind: EventPhaseStart, Kernel: k.Name,
+			Phase: "validation", Round: round})
+		vPhase := time.Now()
+		reSearch := false
+		for {
+			best = fastestSurvivor(candidates, tests, k, bestCost)
+			if best == nil {
+				// Nothing survives the refined testcases; the target is
+				// correct by construction.
+				best = k.Target.Clone()
+				verdict = verify.Equal
+				break
+			}
+
+			// Timed inside the task: like SynthTime/OptTime, VerifyTime
+			// excludes time queued behind other runs on the shared pool.
+			var res verify.Result
+			var vdur time.Duration
+			e.runTask(ctx, func() {
+				vStart := time.Now()
+				res = verify.Equivalent(ctx, k.Target, best, live, st.verify)
+				vdur = time.Since(vStart)
+			})
+			rep.VerifyTime += vdur
+			if res.Verdict == verify.Unknown && ctx.Err() != nil {
+				verifyCancelled = true
+			}
+			verdict = res.Verdict
+			e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
+				Round: round, Verdict: res.Verdict})
+			if res.Verdict != verify.NotEqual {
+				break
+			}
+			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, best)
+			if !genuine {
+				// Uninterpreted-function artefact: the counterexample does
+				// not concretely distinguish the programs. The proof
+				// attempt is inconclusive rather than refuting.
+				verdict = verify.Unknown
+				break
+			}
+			tests = append(tests, tc)
+			rep.Refinements++
+			e.emit(&st, Event{Kind: EventRefinement, Kernel: k.Name,
+				Round: round, Tests: len(tests)})
+			if round < st.maxRefinements {
+				reSearch = true
+				break
+			}
+			// Out of search budget: keep filtering the existing pool
+			// against the refined testcases.
+		}
+		e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name,
+			Phase: "validation", Round: round, Elapsed: time.Since(vPhase)})
+		if !reSearch {
+			break
+		}
+	}
+
+	return finish(best, verdict, verifyCancelled), nil
+}
+
+// fastestSurvivor re-ranks candidates (Figure 9, step 6): the fastest
+// program under the pipeline model among those within 20% of the minimum
+// cost that pass every (possibly refined) testcase. Nil when none survive.
+func fastestSurvivor(candidates []*x64.Program, tests []testgen.Testcase, k Kernel, bestCost float64) *x64.Program {
+	evalCost := cost.New(tests, k.Spec.LiveOut, cost.Improved, 1)
+	var best *x64.Program
+	bestCycles := 1e30
+	for _, c := range candidates {
+		res := evalCost.Eval(c, cost.MaxBudget)
+		if res.EqCost != 0 || res.Cost > bestCost*1.2 {
+			continue
+		}
+		if cy := pipeline.Cycles(c); cy < bestCycles {
+			bestCycles = cy
+			best = c
+		}
+	}
+	return best
+}
+
+// cexTestcase converts a counterexample into a testcase, reporting whether
+// it concretely distinguishes target and rewrite.
+func cexTestcase(k Kernel, m *emu.Machine, rng *rand.Rand, cex *verify.Counterexample,
+	target, rewrite *x64.Program) (testgen.Testcase, bool) {
+
+	// Start from a shape-correct random input and overwrite every
+	// non-pointer register — including undefined ones, whose junk values
+	// the counterexample may rely on — with the model's values. The stack
+	// pointer is always a pointer: a counterexample rsp points nowhere
+	// runnable.
+	in := k.Spec.BuildInput(rng)
+	testgen.FillUndefined(in, rng)
+	for r := x64.Reg(0); r < x64.NumGPR; r++ {
+		if r == x64.RSP || k.Pointers.Has(r) {
+			continue
+		}
+		in.Regs[r] = cex.Regs[r]
+	}
+	for r := 0; r < x64.NumXMM; r++ {
+		in.Xmm[r] = cex.Xmm[r]
+	}
+	in.Flags = cex.Flags
+
+	tc, err := testgen.FromInput(m, target, k.Spec, in)
+	if err != nil {
+		return testgen.Testcase{}, false
+	}
+
+	// Does the refined testcase actually separate the programs?
+	f := cost.New([]testgen.Testcase{tc}, k.Spec.LiveOut, cost.Strict, 0)
+	if f.Eval(rewrite, cost.MaxBudget).Cost == 0 {
+		return tc, false
+	}
+	return tc, true
+}
