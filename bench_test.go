@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -194,6 +195,52 @@ func BenchmarkAblationEqualityMetric(b *testing.B) {
 				f.Eval(prog, cost.MaxBudget)
 			}
 		})
+	}
+}
+
+// BenchmarkEvalThroughput measures end-to-end proposals per second through
+// the two evaluation pipelines — the seed interpreter (copy the candidate,
+// re-decode every instruction on every testcase) versus the decode-once
+// compiled path (patch the mutated slots, adaptive testcase order, pinned
+// per-testcase machines) — on an optimization-phase chain (β=1, perf term
+// on, started from the target: the regime the paper's §6 wall-clock is
+// spent in) at the harness ℓ=14 and the paper's ℓ=50 profile.
+// cmd/stoke-bench -eval-baseline records the same measurement, plus
+// secondary kernels, as a machine-readable BENCH_eval.json.
+func BenchmarkEvalThroughput(b *testing.B) {
+	bench, err := kernels.ByName("p01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(8)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ell := range []int{14, 50} {
+		for _, mode := range []struct {
+			name        string
+			interpreted bool
+		}{{"interpreted", true}, {"compiled", false}} {
+			b.Run(fmt.Sprintf("ell=%d/%s", ell, mode.name), func(b *testing.B) {
+				params := mcmc.PaperParams
+				params.Ell = ell
+				params.Beta = 1.0 // optimization phase (stoke.DefaultOptBeta)
+				s := &mcmc.Sampler{
+					Params:      params,
+					Pools:       mcmc.PoolsFor(bench.Target, false),
+					Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
+					Rng:         rand.New(rand.NewSource(9)),
+					Interpreted: mode.interpreted,
+				}
+				b.ResetTimer()
+				res := s.Run(context.Background(), bench.Target, int64(b.N))
+				b.StopTimer()
+				if res.Best == nil {
+					b.Fatal("chain returned no program")
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "proposals/s")
+			})
+		}
 	}
 }
 

@@ -21,15 +21,35 @@ import (
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure to regenerate (0 = all)")
-		profile = flag.String("profile", "quick", "search budget profile (quick or full)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		fig      = flag.Int("fig", 0, "figure to regenerate (0 = all)")
+		profile  = flag.String("profile", "quick", "search budget profile (quick or full)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		evalOut  = flag.String("eval-baseline", "", "write the evaluation-throughput baseline JSON to this path and exit")
+		evalProp = flag.Int64("eval-proposals", 300000, "proposal budget per eval-baseline configuration")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "stoke-bench:", err)
 		os.Exit(1)
+	}
+
+	// The evaluation-throughput baseline is a standalone measurement:
+	// interpreted vs compiled proposals/sec, written as machine-readable
+	// JSON (BENCH_eval.json) so the perf trajectory is tracked per PR.
+	if *evalOut != "" {
+		base, err := experiments.WriteEvalBaseline(*evalOut, *evalProp)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range base.Runs {
+			fmt.Printf("%-5s ell=%-3d %-11s %12.0f proposals/s\n",
+				r.Kernel, r.Ell, r.Mode, r.ProposalsPerSec)
+		}
+		for k, v := range base.Speedups {
+			fmt.Printf("speedup %-12s %.2fx\n", k, v)
+		}
+		return
 	}
 
 	var p experiments.Profile

@@ -12,4 +12,29 @@
 // best-so-far partial results, and streams typed progress events to an
 // observer. examples/quickstart is the smallest end-to-end program;
 // cmd/stoke is the CLI and cmd/stoke-bench the figure harness.
+//
+// # Evaluation pipeline
+//
+// Candidate scoring — the hot path that bounds the paper's §6 search rate —
+// is a two-phase, decode-once pipeline. internal/emu.Compile lowers a
+// program once into per-slot micro-ops (pre-resolved handlers with widths,
+// masks, immediates, fused flag updates and pre-linked jump/fall-through
+// targets baked in); Machine.RunCompiled dispatches over that form, hopping
+// directly between live slots so UNUSED padding costs nothing. Because an
+// MCMC move touches at most two instruction slots, the sampler patches
+// exactly those slots of the compiled form (restoring and re-patching on
+// rejection) instead of recompiling ℓ slots per proposal.
+// internal/cost.Fn.EvalCompiled scores the compiled form on one machine
+// pinned per testcase — unchanged snapshots reload almost for free — and
+// visits testcases in an adaptive order: each testcase counts how often it
+// pushed the running cost over the §4.5 early-termination bound, and the
+// most-discriminating tests migrate to the front so bad proposals die after
+// one run. Reordering cannot change accept/reject decisions (per-testcase
+// costs are non-negative, so the prefix sums cross any bound iff the total
+// does). The original interpreter (Machine.Run, Fn.Eval) remains the
+// semantic reference behind stoke.WithInterpretedEval, pinned to the
+// compiled path by randomized differential tests; BenchmarkEvalThroughput
+// and the BENCH_eval.json baseline emitted by cmd/stoke-bench
+// -eval-baseline track the speedup (≥3x proposals/sec at the paper's ℓ=50
+// profile on this module's hardware baseline).
 package repro

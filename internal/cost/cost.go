@@ -1,4 +1,5 @@
-// Package cost implements the paper's cost functions (§3.1, §4.1–4.6).
+// Package cost implements the paper's cost functions (§3.1, §4.1–4.6) over
+// the two-phase evaluation pipeline.
 //
 // The total cost of a candidate rewrite is
 //
@@ -14,10 +15,26 @@
 // so faster code costs less), and the Metropolis acceptance uses the
 // standard difference form exp(-β(c(R*)-c(R))), which is the form the
 // paper's early-termination bound (Equation 14) is derived from.
+//
+// An Fn scores candidates through either of two paths:
+//
+//   - Eval interprets the program from scratch on one shared machine, the
+//     seed implementation kept as the semantic reference.
+//   - EvalCompiled scores a decode-once *emu.Compiled form (see emu's
+//     Compile) on one machine pinned per testcase, so clean machines skip
+//     snapshot restores, and visits testcases in an adaptively reordered
+//     sequence: each testcase counts how often it was the one that pushed
+//     the running cost over the early-termination bound (Equation 14), and
+//     the most-discriminating testcases migrate to the front so bad
+//     proposals are rejected after as few runs as possible. Reordering
+//     never changes the accept/reject decision — per-testcase costs are
+//     non-negative, so the running sum crosses the bound for some prefix
+//     iff the total exceeds it — only how early evaluation stops.
 package cost
 
 import (
 	"math/bits"
+	"sort"
 
 	"repro/internal/emu"
 	"repro/internal/perf"
@@ -47,9 +64,10 @@ type Weights struct {
 // PaperWeights are the constants from Figure 11.
 var PaperWeights = Weights{SegFault: 1, FloatFault: 1, UndefRead: 2, Misplace: 3}
 
-// Fn evaluates candidate rewrites against a testcase set. An Fn owns an
-// emulator and is not safe for concurrent use; each search thread builds its
-// own (sharing the read-only testcases).
+// Fn evaluates candidate rewrites against a testcase set. An Fn owns its
+// emulators (one shared by the interpreted path, one pinned per testcase by
+// the compiled path) and is not safe for concurrent use; each search thread
+// builds its own (sharing the read-only testcases).
 type Fn struct {
 	Tests []testgen.Testcase
 	Live  testgen.LiveSet
@@ -61,7 +79,20 @@ type Fn struct {
 	PerfWeight float64
 
 	m *emu.Machine
+
+	// Compiled-path state: one machine pinned per testcase (so unchanged
+	// snapshots reload for free), the adaptive evaluation order, and the
+	// per-testcase early-termination counts that drive it.
+	ms      []*emu.Machine
+	order   []int
+	rejects []int64
+	evals   int
 }
+
+// reorderEvery is how many compiled evaluations pass between re-sorts of
+// the testcase order. Counts are halved at each re-sort so the ordering
+// tracks the current region of the search space rather than its history.
+const reorderEvery = 256
 
 // New builds a cost function over the given testcases.
 func New(tests []testgen.Testcase, live testgen.LiveSet, mode Mode, perfWeight float64) *Fn {
@@ -117,14 +148,99 @@ func (f *Fn) Eval(p *x64.Program, budget float64) Result {
 	return res
 }
 
+// Compile lowers p into the decode-once form EvalCompiled scores. The
+// returned form references p: mutate p, then emu.Compiled.Patch the touched
+// slots (or Recompile) before re-evaluating.
+func (f *Fn) Compile(p *x64.Program) *emu.Compiled { return emu.Compile(p) }
+
+// EvalCompiled computes the cost of a compiled candidate, stopping early
+// once the running total exceeds budget. It agrees with Eval on the
+// resulting cost and accept/reject decision; testcases are visited in the
+// adaptive order described in the package comment, so TestsRun (and the
+// order-dependent floating-point rounding of partial sums) may differ.
+func (f *Fn) EvalCompiled(c *emu.Compiled, budget float64) Result {
+	var res Result
+	if f.PerfWeight != 0 {
+		// StaticLatency is the patch-maintained perf.H of the compiled
+		// program (latencies are integral, so the incremental sum is
+		// exact).
+		res.Cost = f.PerfWeight * c.StaticLatency()
+		if res.Cost > budget {
+			res.Early = true
+			return res
+		}
+	}
+	f.ensureCompiledState()
+	for _, ti := range f.order {
+		tc := &f.Tests[ti]
+		m := f.ms[ti]
+		m.LoadSnapshotCached(tc.In)
+		out := m.RunCompiled(c)
+		res.EqCost += f.score(m, tc, out)
+		res.TestsRun++
+		if res.Cost+res.EqCost > budget {
+			f.rejects[ti]++
+			res.Cost += res.EqCost
+			res.Early = true
+			f.noteEval()
+			return res
+		}
+	}
+	res.Cost += res.EqCost
+	f.noteEval()
+	return res
+}
+
+// ensureCompiledState sizes the per-testcase machines and the adaptive
+// order to the current testcase set.
+func (f *Fn) ensureCompiledState() {
+	if len(f.ms) == len(f.Tests) {
+		return
+	}
+	f.ms = make([]*emu.Machine, len(f.Tests))
+	for i := range f.ms {
+		f.ms[i] = emu.New()
+	}
+	f.order = make([]int, len(f.Tests))
+	for i := range f.order {
+		f.order[i] = i
+	}
+	f.rejects = make([]int64, len(f.Tests))
+	f.evals = 0
+}
+
+// noteEval counts one compiled evaluation and periodically re-sorts the
+// testcase order by descending early-termination count (stable, so ties
+// keep their current relative order), decaying the counts afterwards.
+func (f *Fn) noteEval() {
+	f.evals++
+	if f.evals%reorderEvery != 0 {
+		return
+	}
+	sort.SliceStable(f.order, func(i, j int) bool {
+		return f.rejects[f.order[i]] > f.rejects[f.order[j]]
+	})
+	for i := range f.rejects {
+		f.rejects[i] /= 2
+	}
+}
+
 // evalOne runs p on one testcase and scores its live outputs.
 func (f *Fn) evalOne(p *x64.Program, tc *testgen.Testcase) float64 {
 	f.m.LoadSnapshot(tc.In)
 	out := f.m.Run(p)
+	return f.score(f.m, tc, out)
+}
 
-	c := f.W.SegFault*float64(out.SigSegv) +
-		f.W.FloatFault*float64(out.SigFpe) +
-		f.W.UndefRead*float64(out.Undef)
+// score converts one execution's outcome and final machine state into the
+// testcase's cost term; it is shared by the interpreted and compiled paths.
+func (f *Fn) score(m *emu.Machine, tc *testgen.Testcase, out emu.Outcome) float64 {
+	var c float64
+	if out.SigSegv|out.SigFpe|out.Undef != 0 {
+		c = f.W.SegFault*float64(out.SigSegv) +
+			f.W.FloatFault*float64(out.SigFpe) +
+			f.W.UndefRead*float64(out.Undef)
+	}
 	if out.Exhaust {
 		// A sequence that exhausts the step budget cannot be scored
 		// meaningfully; charge it like a fault.
@@ -134,39 +250,44 @@ func (f *Fn) evalOne(p *x64.Program, tc *testgen.Testcase) float64 {
 	// Live register outputs (Equations 9 / 15).
 	for li, lr := range f.Live.GPRs {
 		want := tc.WantGPR[li]
-		c += f.regCost(want, lr)
+		c += f.regCost(m, want, lr)
 	}
 	for li, xr := range f.Live.Xmms {
-		c += f.xmmCost(tc.WantXmm[li], xr)
+		c += f.xmmCost(m, tc.WantXmm[li], xr)
 	}
 
 	// Live flags: one bit each.
 	if f.Live.Flags != 0 {
-		got := f.m.Flags & f.Live.Flags
+		got := m.Flags & f.Live.Flags
 		c += float64(bits.OnesCount8(uint8(got ^ tc.WantFlags)))
 	}
 
 	// Live memory outputs (Equation 10 and its improved analogue).
-	c += f.memCost(tc)
+	c += f.memCost(m, tc)
 	return c
 }
 
 // regCost scores one live GPR output.
-func (f *Fn) regCost(want uint64, lr testgen.LiveReg) float64 {
+func (f *Fn) regCost(m *emu.Machine, want uint64, lr testgen.LiveReg) float64 {
 	mask := widthMask(lr.Width)
-	correct := float64(bits.OnesCount64((want ^ f.m.Regs[lr.Reg]) & mask))
+	correct := float64(bits.OnesCount64((want ^ m.Regs[lr.Reg]) & mask))
 	if f.Mode == Strict {
 		return correct
 	}
 	// Improved metric (Equation 15): the best-matching register of the
 	// same bit width, with a misplacement penalty when it is not the right
-	// one.
+	// one. A rival register costs at least the misplacement penalty, so a
+	// right-place match at least that good cannot be beaten — the common
+	// case near convergence, where the scan would be pure overhead.
+	if correct <= f.W.Misplace {
+		return correct
+	}
 	best := correct
 	for r := x64.Reg(0); r < x64.NumGPR; r++ {
 		if r == lr.Reg {
 			continue
 		}
-		d := float64(bits.OnesCount64((want^f.m.Regs[r])&mask)) + f.W.Misplace
+		d := float64(bits.OnesCount64((want^m.Regs[r])&mask)) + f.W.Misplace
 		if d < best {
 			best = d
 		}
@@ -175,12 +296,15 @@ func (f *Fn) regCost(want uint64, lr testgen.LiveReg) float64 {
 }
 
 // xmmCost scores one live XMM output.
-func (f *Fn) xmmCost(want [2]uint64, xr x64.Reg) float64 {
+func (f *Fn) xmmCost(m *emu.Machine, want [2]uint64, xr x64.Reg) float64 {
 	ham := func(v [2]uint64) float64 {
 		return float64(bits.OnesCount64(want[0]^v[0]) + bits.OnesCount64(want[1]^v[1]))
 	}
-	correct := ham(f.m.Xmm[xr])
+	correct := ham(m.Xmm[xr])
 	if f.Mode == Strict {
+		return correct
+	}
+	if correct <= f.W.Misplace {
 		return correct
 	}
 	best := correct
@@ -188,7 +312,7 @@ func (f *Fn) xmmCost(want [2]uint64, xr x64.Reg) float64 {
 		if r == xr {
 			continue
 		}
-		d := ham(f.m.Xmm[r]) + f.W.Misplace
+		d := ham(m.Xmm[r]) + f.W.Misplace
 		if d < best {
 			best = d
 		}
@@ -197,20 +321,20 @@ func (f *Fn) xmmCost(want [2]uint64, xr x64.Reg) float64 {
 }
 
 // memCost scores the live memory outputs of one testcase.
-func (f *Fn) memCost(tc *testgen.Testcase) float64 {
+func (f *Fn) memCost(m *emu.Machine, tc *testgen.Testcase) float64 {
 	if len(tc.WantMem) == 0 {
 		return 0
 	}
 	total := 0.0
 	for _, mc := range tc.WantMem {
-		got, _, ok := f.m.MemByte(mc.Addr)
+		got, _, ok := m.MemByte(mc.Addr)
 		var correct float64
 		if ok {
 			correct = float64(bits.OnesCount8(got ^ mc.Want))
 		} else {
 			correct = 8
 		}
-		if f.Mode == Strict {
+		if f.Mode == Strict || correct <= f.W.Misplace {
 			total += correct
 			continue
 		}
@@ -221,7 +345,7 @@ func (f *Fn) memCost(tc *testgen.Testcase) float64 {
 			if other.Addr == mc.Addr {
 				continue
 			}
-			g, _, ok := f.m.MemByte(other.Addr)
+			g, _, ok := m.MemByte(other.Addr)
 			if !ok {
 				continue
 			}

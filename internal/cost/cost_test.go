@@ -212,3 +212,96 @@ func TestLiveFlagsCost(t *testing.T) {
 		t.Fatal("always-equal comparison must cost > 0")
 	}
 }
+
+// compiledSpec builds a two-input register kernel spec for the compiled
+// pipeline tests.
+func compiledSpec() testgen.Spec {
+	return testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x10000)
+			a.SetReg(x64.RDI, rng.Uint64())
+			a.SetReg(x64.RSI, rng.Uint64())
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}},
+	}
+}
+
+// TestEvalCompiledMatchesEval pins the compiled scoring path against the
+// interpreted one: same cost, same eq term, bit for bit (both run the
+// testcases in identity order when nothing is rejected).
+func TestEvalCompiledMatchesEval(t *testing.T) {
+	target := x64.MustParse("movq rdi, rax\nimulq rsi, rax")
+	spec := compiledSpec()
+	tests, err := testgen.Generate(target, spec, 32, rand.New(rand.NewSource(71)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []*x64.Program{
+		target,
+		x64.MustParse("movq rsi, rax\nimulq rdi, rax"),
+		x64.MustParse("movq rdi, rax"),
+		x64.MustParse("xorq rax, rax"),
+		x64.MustParse("movq rbx, rax"),   // undef read
+		x64.MustParse("movq (rdi), rax"), // sandbox fault on register inputs
+	}
+	for _, p := range candidates {
+		p = p.PadTo(14)
+		fi := New(tests, spec.LiveOut, Improved, 1)
+		fc := New(tests, spec.LiveOut, Improved, 1)
+		want := fi.Eval(p, MaxBudget)
+		got := fc.EvalCompiled(fc.Compile(p), MaxBudget)
+		if want != got {
+			t.Errorf("compiled eval = %+v, interpreted = %+v for\n%s", got, want, p)
+		}
+	}
+}
+
+// TestAdaptiveOrderFrontloadsDiscriminatingTests: a testcase that keeps
+// triggering early termination must migrate to the front of the evaluation
+// order, shrinking TestsRun for subsequent rejections.
+func TestAdaptiveOrderFrontloadsDiscriminatingTests(t *testing.T) {
+	live := testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}}
+	// 32 testcases: rdi = 5 everywhere except the last, so the wrong
+	// rewrite "movq 5, rax" is distinguished only by testcase 31.
+	var tests []testgen.Testcase
+	for i := 0; i < 32; i++ {
+		in := &emu.Snapshot{FlagsDef: x64.AllFlags, RegDef: 0xffff}
+		v := uint64(5)
+		if i == 31 {
+			v = ^uint64(0)
+		}
+		in.Regs[x64.RDI] = v
+		tests = append(tests, testgen.Testcase{In: in, WantGPR: []uint64{v}})
+	}
+	f := New(tests, live, Strict, 0)
+	wrong := x64.MustParse("movq 5, rax").PadTo(8)
+	c := f.Compile(wrong)
+
+	// Before any adaptation the discriminating testcase is last: a tight
+	// budget makes every evaluation walk all 32 testcases.
+	first := f.EvalCompiled(c, 1)
+	if !first.Early || first.TestsRun != 32 {
+		t.Fatalf("expected full-order rejection over 32 tests, got %+v", first)
+	}
+	for i := 0; i < 2*reorderEvery; i++ {
+		f.EvalCompiled(c, 1)
+	}
+	after := f.EvalCompiled(c, 1)
+	if !after.Early || after.TestsRun != 1 {
+		t.Fatalf("adaptive order did not frontload the discriminating testcase: %+v", after)
+	}
+	// The order must remain a permutation of the testcase indices.
+	seen := map[int]bool{}
+	for _, ti := range f.order {
+		if ti < 0 || ti >= len(tests) || seen[ti] {
+			t.Fatalf("order is not a permutation: %v", f.order)
+		}
+		seen[ti] = true
+	}
+	// And a correct rewrite still scores zero over the permuted order.
+	right := x64.MustParse("movq rdi, rax").PadTo(8)
+	if res := f.EvalCompiled(f.Compile(right), MaxBudget); res.Cost != 0 || res.TestsRun != 32 {
+		t.Fatalf("reordered evaluation broke a correct rewrite: %+v", res)
+	}
+}

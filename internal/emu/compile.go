@@ -1,0 +1,1693 @@
+package emu
+
+import (
+	"math/bits"
+
+	"repro/internal/perf"
+	"repro/internal/x64"
+)
+
+// This file implements the decode phase of the two-phase evaluation
+// pipeline. Compile lowers each instruction slot of a program once into a
+// microOp — a pre-resolved handler plus the decoded fields it needs — and
+// RunCompiled dispatches over the compiled form without ever re-inspecting
+// opcodes, operand kinds or widths. The throughput win comes from five
+// decode-time specialisations:
+//
+//   - Hot opcode/operand shapes (register, immediate and memory-source
+//     MOV/ALU forms, shifts, multiplies, LEA, CMOV, SETcc, CMP/TEST,
+//     bit-scan ops, push/pop) lower to flat handlers with widths, masks,
+//     sign bits and immediates baked in; everything else falls back to a
+//     handler that invokes the interpreter's exec on the source
+//     instruction, so the two paths cannot disagree on rare opcodes.
+//   - The hottest shapes additionally carry a dispatch code the run loop
+//     inlines directly, skipping even the indirect handler call.
+//   - Specialised handlers compute the full flag update as one word and
+//     write Flags/FlagsDef once (branch-free where the outcome bits are
+//     data-random), instead of five setFlag calls.
+//   - Every slot pre-links its fall-through: the next live slot. Dead
+//     UNUSED/LABEL slots are never visited at all — a mostly-empty ℓ=50
+//     candidate costs as many dispatches as it has live instructions —
+//     and the strictly-forward pc makes the step-budget check provably
+//     dead for programs that fit it, so the common loop omits it.
+//   - Jump targets are linked at compile time instead of scanning for
+//     labels on every taken branch; Compile also caches the Equation 13
+//     static-latency sum, maintained incrementally across patches.
+//
+// The struct-of-predecoded-fields + static handler design was chosen over
+// per-slot closures under benchmark: closures allocate per compile (hostile
+// to the patch-per-proposal discipline) and measured no faster.
+//
+// A Compiled form stays attached to the program it was lowered from: the
+// MCMC sampler mutates at most two slots per proposal and calls Patch on
+// exactly those, which re-lowers the slot and repairs the fall-through
+// chain in place (with a full relink only if control structure — labels,
+// jumps, rets — is involved, which proposal moves never touch).
+
+// microKind classifies a compiled slot for the dispatch loop.
+type microKind uint8
+
+const (
+	mkExec microKind = iota // run the handler
+	mkSkip                  // UNUSED/LABEL: follow the skip chain
+	mkRet                   // end execution
+	mkJmp                   // unconditional forward jump, pre-linked
+	mkJcc                   // conditional forward jump, pre-linked
+
+	// Hot-shape codes: the dispatch loop inlines these to avoid the
+	// indirect handler call. Every hot slot still carries its handler, so
+	// the bounded fallback loop needs no second copy of the bodies. "W"
+	// codes are wide-destination only (4/8 bytes: pre-masked results store
+	// directly); CMP/TEST read-only codes apply at every width.
+	mkMovRRW
+	mkMovRIW
+	mkMovLoadW
+	mkMovStoreR
+	mkAddRRW
+	mkAddRIW
+	mkSubRRW
+	mkSubRIW
+	mkAndRRW
+	mkAndRIW
+	mkOrRRW
+	mkOrRIW
+	mkXorRRW
+	mkXorRIW
+	mkZeroW // xor r,r / sub r,r dependency-breaking zero, wide
+	mkCmpRR
+	mkCmpRI
+	mkTestRR
+	mkTestRI
+	mkLeaW
+	mkCmovRRW
+	mkIncW
+	mkDecW
+	mkNegW
+	mkNotW
+)
+
+// kindW tags a lowered slot with a hot-dispatch code when the destination
+// is wide enough for the inline body's direct register store.
+func (u *microOp) kindW(k microKind) {
+	if u.w >= 4 {
+		u.kind = k
+	}
+}
+
+// handlerFn executes one pre-decoded instruction.
+type handlerFn func(m *Machine, u *microOp)
+
+// microOp is one compiled instruction slot. Field meaning depends on the
+// handler; in points at the source instruction slot inside the compiled
+// program (the generic fallback interprets it and memory handlers take
+// their address operand from it — program slots are mutated in place and
+// never reallocated, so the pointer stays valid across patches).
+type microOp struct {
+	run    handlerFn
+	in     *x64.Inst
+	kind   microKind
+	ctl    bool // LABEL/JMP/Jcc/RET: patching this slot forces a relink
+	w      uint8
+	w2     uint8 // second width (movsx/movzx source)
+	cc     x64.Cond
+	dst    x64.Reg
+	src    x64.Reg
+	target int32 // jump destination (slot index)
+	next   int32 // first live slot after this one: the fall-through pc
+	mask   uint64
+	sbit   uint64
+	imm    uint64
+	lat    float64 // static latency of this slot (Equation 13 term)
+}
+
+// setWidth bakes the destination width, its mask and its sign bit into u.
+func (u *microOp) setWidth(w uint8) {
+	u.w = w
+	u.mask = widthMask(w)
+	u.sbit = signBit(w)
+}
+
+// Compiled is the decode-once form of a program. It references the program
+// it was compiled from; Patch re-lowers single slots after in-place
+// mutation. A Compiled is not safe for concurrent use, matching the
+// single-owner discipline of Machine.
+type Compiled struct {
+	prog *x64.Program
+	ops  []microOp
+
+	// hsum caches the program's static latency sum H (Equation 13),
+	// maintained incrementally by Patch. Latencies are integral, so the
+	// incremental float updates stay exact.
+	hsum float64
+}
+
+// StaticLatency returns the cached Equation 13 sum of the compiled
+// program, equal to perf.H(c.Program()).
+func (c *Compiled) StaticLatency() float64 { return c.hsum }
+
+// Compile lowers p into its decode-once form. The returned Compiled
+// references p: callers that mutate p must Patch (or Recompile) before the
+// next RunCompiled.
+func Compile(p *x64.Program) *Compiled {
+	c := &Compiled{prog: p, ops: make([]microOp, len(p.Insts))}
+	for i := range p.Insts {
+		c.lowerSlot(i)
+	}
+	c.link()
+	return c
+}
+
+// Program returns the program this compiled form mirrors.
+func (c *Compiled) Program() *x64.Program { return c.prog }
+
+// Recompile re-lowers every slot, for callers that rewrote the program
+// wholesale (chain restarts).
+func (c *Compiled) Recompile() {
+	if len(c.ops) != len(c.prog.Insts) {
+		c.ops = make([]microOp, len(c.prog.Insts))
+		c.hsum = 0
+	}
+	for i := range c.prog.Insts {
+		c.lowerSlot(i)
+	}
+	c.link()
+}
+
+// Patch re-lowers slot i from the (already mutated) program and repairs the
+// skip chain around it. Edits that add or remove control structure trigger
+// a full relink; proposal moves never do, so the common patch is O(length
+// of the adjacent dead-slot run).
+func (c *Compiled) Patch(i int) {
+	wasCtl := c.ops[i].ctl
+	c.lowerSlot(i)
+	u := &c.ops[i]
+	if wasCtl || u.ctl {
+		c.link()
+		return
+	}
+	n := len(c.ops)
+	// Recompute this slot's fall-through from its right neighbour, then
+	// retarget every predecessor whose fall-through ran through it: the
+	// dead-slot run immediately to the left, plus the first live slot
+	// before that run.
+	switch {
+	case i+1 >= n:
+		u.next = int32(n)
+	case c.ops[i+1].kind != mkSkip:
+		u.next = int32(i + 1)
+	default:
+		u.next = c.ops[i+1].next
+	}
+	t := int32(i)
+	if u.kind == mkSkip {
+		t = u.next
+	}
+	for j := i - 1; j >= 0; j-- {
+		c.ops[j].next = t
+		if c.ops[j].kind != mkSkip {
+			break
+		}
+	}
+}
+
+// link computes skip-chain targets (right to left) and resolves jump
+// targets with the same forward-scan semantics as the interpreter: the slot
+// after the first matching label, or the program end when the label is
+// missing (safe fall-off for unvalidated candidates).
+func (c *Compiled) link() {
+	n := len(c.ops)
+	next := int32(n)
+	for i := n - 1; i >= 0; i-- {
+		u := &c.ops[i]
+		u.next = next
+		if u.kind != mkSkip {
+			next = int32(i)
+		}
+	}
+	for i := range c.ops {
+		u := &c.ops[i]
+		if u.kind != mkJmp && u.kind != mkJcc {
+			continue
+		}
+		label := u.in.Opd[0].Label
+		u.target = int32(n)
+		for j := i + 1; j < n; j++ {
+			if c.prog.Insts[j].Op == x64.LABEL && c.prog.Insts[j].Opd[0].Label == label {
+				u.target = int32(j + 1)
+				break
+			}
+		}
+	}
+}
+
+// lowerSlot decodes prog.Insts[i] into ops[i]. Skip-chain and jump targets
+// are left to link/Patch.
+func (c *Compiled) lowerSlot(i int) {
+	in := &c.prog.Insts[i]
+	u := &c.ops[i]
+	c.hsum -= u.lat // a stale slot's latency leaves the sum (zero when fresh)
+	*u = microOp{in: in}
+	u.lat = perf.Latency(*in)
+	c.hsum += u.lat
+	switch in.Op {
+	case x64.UNUSED:
+		u.kind = mkSkip
+		return
+	case x64.LABEL:
+		u.kind = mkSkip
+		u.ctl = true
+		return
+	case x64.RET:
+		u.kind = mkRet
+		u.ctl = true
+		return
+	case x64.JMP:
+		u.kind = mkJmp
+		u.ctl = true
+		return
+	case x64.Jcc:
+		u.kind = mkJcc
+		u.ctl = true
+		u.cc = in.CC
+		return
+	}
+	u.kind = mkExec
+	u.run = hGeneric
+	lowerExec(u, in)
+}
+
+// lowerExec picks a specialised handler for the hot opcode/operand shapes,
+// leaving u.run as the generic fallback when no specialisation applies.
+func lowerExec(u *microOp, in *x64.Inst) {
+	switch in.Op {
+	case x64.MOV, x64.MOVABS, x64.MOVZX:
+		lowerMov(u, in)
+
+	case x64.MOVSX:
+		s, d := in.Opd[0], in.Opd[1]
+		if s.Kind == x64.KindReg && d.Kind == x64.KindReg {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			u.w2 = s.Width
+			u.run = hMovsxRR
+		}
+
+	case x64.ADD, x64.SUB, x64.AND, x64.OR, x64.XOR, x64.ADC, x64.SBB:
+		lowerALU(u, in)
+
+	case x64.CMP:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind != x64.KindReg {
+			return
+		}
+		u.dst = d.Reg
+		u.setWidth(d.Width)
+		switch s.Kind {
+		case x64.KindReg:
+			if s.Width == d.Width {
+				u.src = s.Reg
+				u.run = hCmpRR
+				u.kind = mkCmpRR
+			}
+		case x64.KindImm:
+			u.imm = uint64(s.Imm) & widthMask(s.Width)
+			u.run = hCmpRI
+			u.kind = mkCmpRI
+		case x64.KindMem:
+			if s.Width == d.Width {
+				u.run = hCmpMR
+			}
+		}
+
+	case x64.TEST:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind != x64.KindReg {
+			return
+		}
+		u.dst = d.Reg
+		u.setWidth(d.Width)
+		switch s.Kind {
+		case x64.KindReg:
+			if s.Width == d.Width {
+				u.src = s.Reg
+				u.run = hTestRR
+				u.kind = mkTestRR
+			}
+		case x64.KindImm:
+			u.imm = uint64(s.Imm) & widthMask(s.Width)
+			u.run = hTestRI
+			u.kind = mkTestRI
+		}
+
+	case x64.LEA:
+		d := in.Opd[1]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.setWidth(d.Width)
+			u.run = hLea
+			u.kindW(mkLeaW)
+		}
+
+	case x64.INC, x64.DEC:
+		d := in.Opd[0]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.setWidth(d.Width)
+			if in.Op == x64.INC {
+				u.run = hIncR
+				u.kindW(mkIncW)
+			} else {
+				u.run = hDecR
+				u.kindW(mkDecW)
+			}
+		}
+
+	case x64.NEG, x64.NOT:
+		d := in.Opd[0]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.setWidth(d.Width)
+			if in.Op == x64.NEG {
+				u.run = hNegR
+				u.kindW(mkNegW)
+			} else {
+				u.run = hNotR
+				u.kindW(mkNotW)
+			}
+		}
+
+	case x64.IMUL:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind != x64.KindReg {
+			return
+		}
+		u.dst = d.Reg
+		u.setWidth(d.Width)
+		switch s.Kind {
+		case x64.KindReg:
+			if s.Width == d.Width {
+				u.src = s.Reg
+				u.run = hImulRR
+			}
+		case x64.KindMem:
+			if s.Width == d.Width {
+				u.run = hImulMR
+			}
+		}
+
+	case x64.IMUL3:
+		d, s, im := in.Opd[2], in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg && s.Width == d.Width {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			u.imm = uint64(im.Imm) & widthMask(d.Width)
+			u.run = hImul3RR
+		}
+
+	case x64.MUL, x64.IMUL1:
+		s := in.Opd[0]
+		if s.Kind == x64.KindReg {
+			u.src = s.Reg
+			u.setWidth(s.Width)
+			if in.Op == x64.MUL {
+				u.run = hMul1R
+			} else {
+				u.run = hImul1R
+			}
+		}
+
+	case x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR:
+		lowerShift(u, in)
+
+	case x64.XCHG:
+		a, b := in.Opd[0], in.Opd[1]
+		if a.Kind == x64.KindReg && b.Kind == x64.KindReg && a.Width == b.Width {
+			u.src, u.dst = a.Reg, b.Reg
+			u.setWidth(a.Width)
+			u.run = hXchgRR
+		}
+
+	case x64.PUSH:
+		s := in.Opd[0]
+		switch s.Kind {
+		case x64.KindReg:
+			u.src = s.Reg
+			u.run = hPushR
+		case x64.KindImm:
+			u.imm = uint64(s.Imm) & widthMask(s.Width)
+			u.run = hPushI
+		}
+
+	case x64.POP:
+		d := in.Opd[0]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.run = hPopR
+		}
+
+	case x64.POPCNT:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg && s.Width == d.Width {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			u.run = hPopcntRR
+		}
+
+	case x64.BSF, x64.BSR:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg && s.Width == d.Width {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			if in.Op == x64.BSF {
+				u.run = hBsfRR
+			} else {
+				u.run = hBsrRR
+			}
+		}
+
+	case x64.BSWAP:
+		d := in.Opd[0]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.setWidth(d.Width)
+			u.run = hBswapR
+		}
+
+	case x64.BT:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind != x64.KindReg {
+			return
+		}
+		u.dst = d.Reg
+		u.setWidth(d.Width)
+		switch s.Kind {
+		case x64.KindReg:
+			if s.Width == d.Width {
+				u.src = s.Reg
+				u.run = hBtRR
+			}
+		case x64.KindImm:
+			u.imm = uint64(s.Imm) & widthMask(s.Width)
+			u.run = hBtRI
+		}
+
+	case x64.CMOVcc:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg && s.Width == d.Width {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			u.cc = in.CC
+			u.run = hCmovRR
+			u.kindW(mkCmovRRW)
+		}
+
+	case x64.SETcc:
+		d := in.Opd[0]
+		if d.Kind == x64.KindReg {
+			u.dst = d.Reg
+			u.cc = in.CC
+			u.run = hSetccR
+		}
+	}
+}
+
+func lowerMov(u *microOp, in *x64.Inst) {
+	s, d := in.Opd[0], in.Opd[1]
+	switch {
+	case d.Kind == x64.KindReg && s.Kind == x64.KindReg:
+		u.dst, u.src = d.Reg, s.Reg
+		u.mask = widthMask(s.Width)
+		if d.Width >= 4 {
+			u.run = hMovRRW
+			u.kind = mkMovRRW
+		} else {
+			u.w = d.Width
+			u.run = hMovRRN
+		}
+	case d.Kind == x64.KindReg && s.Kind == x64.KindImm:
+		u.dst = d.Reg
+		u.imm = uint64(s.Imm) & widthMask(s.Width)
+		if d.Width >= 4 {
+			u.run = hMovRIW
+			u.kind = mkMovRIW
+		} else {
+			u.w = d.Width
+			u.run = hMovRIN
+		}
+	case d.Kind == x64.KindReg && s.Kind == x64.KindMem:
+		u.dst = d.Reg
+		if d.Width >= 4 {
+			u.w = s.Width
+			u.run = hMovLoadW
+			u.kind = mkMovLoadW
+		} else {
+			u.w = d.Width
+			u.w2 = s.Width
+			u.run = hMovLoadN
+		}
+	case d.Kind == x64.KindMem && s.Kind == x64.KindReg && s.Width == d.Width:
+		u.src, u.w = s.Reg, s.Width
+		u.run = hMovStoreR
+		u.kind = mkMovStoreR
+	case d.Kind == x64.KindMem && s.Kind == x64.KindImm:
+		u.w = d.Width
+		u.imm = uint64(s.Imm) & widthMask(s.Width)
+		u.run = hMovStoreI
+	}
+}
+
+func lowerALU(u *microOp, in *x64.Inst) {
+	d, s := in.Opd[1], in.Opd[0]
+	if d.Kind != x64.KindReg {
+		return
+	}
+	u.dst = d.Reg
+	u.setWidth(d.Width)
+	same := s.Kind == x64.KindReg && s.Reg == d.Reg && s.Width == d.Width
+	if same && in.Op == x64.XOR {
+		u.run = hXorZero
+		u.kindW(mkZeroW)
+		return
+	}
+	if same && in.Op == x64.SUB {
+		u.run = hSubZero
+		u.kindW(mkZeroW)
+		return
+	}
+	switch s.Kind {
+	case x64.KindReg:
+		if s.Width != d.Width {
+			return
+		}
+		u.src = s.Reg
+		switch in.Op {
+		case x64.ADD:
+			u.run = hAddRR
+			u.kindW(mkAddRRW)
+		case x64.SUB:
+			u.run = hSubRR
+			u.kindW(mkSubRRW)
+		case x64.AND:
+			u.run = hAndRR
+			u.kindW(mkAndRRW)
+		case x64.OR:
+			u.run = hOrRR
+			u.kindW(mkOrRRW)
+		case x64.XOR:
+			u.run = hXorRR
+			u.kindW(mkXorRRW)
+		case x64.ADC:
+			u.run = hAdcRR
+		case x64.SBB:
+			u.run = hSbbRR
+		}
+	case x64.KindImm:
+		u.imm = uint64(s.Imm) & widthMask(s.Width)
+		switch in.Op {
+		case x64.ADD:
+			u.run = hAddRI
+			u.kindW(mkAddRIW)
+		case x64.SUB:
+			u.run = hSubRI
+			u.kindW(mkSubRIW)
+		case x64.AND:
+			u.run = hAndRI
+			u.kindW(mkAndRIW)
+		case x64.OR:
+			u.run = hOrRI
+			u.kindW(mkOrRIW)
+		case x64.XOR:
+			u.run = hXorRI
+			u.kindW(mkXorRIW)
+		case x64.ADC:
+			u.run = hAdcRI
+		case x64.SBB:
+			u.run = hSbbRI
+		}
+	case x64.KindMem:
+		if s.Width != d.Width {
+			return
+		}
+		switch in.Op {
+		case x64.ADD:
+			u.run = hAddMR
+		case x64.SUB:
+			u.run = hSubMR
+		case x64.AND:
+			u.run = hAndMR
+		case x64.OR:
+			u.run = hOrMR
+		case x64.XOR:
+			u.run = hXorMR
+		}
+	}
+}
+
+func lowerShift(u *microOp, in *x64.Inst) {
+	d, s := in.Opd[1], in.Opd[0]
+	if d.Kind != x64.KindReg {
+		return
+	}
+	u.dst = d.Reg
+	u.setWidth(d.Width)
+	countMask := uint64(31)
+	if d.Width == 8 {
+		countMask = 63
+	}
+	byCL := false
+	switch s.Kind {
+	case x64.KindImm:
+		u.imm = uint64(s.Imm) & countMask
+	case x64.KindReg:
+		byCL = true
+	default:
+		return
+	}
+	type pair struct{ imm, cl handlerFn }
+	var h pair
+	switch in.Op {
+	case x64.SHL:
+		h = pair{hShlI, hShlCL}
+	case x64.SHR:
+		h = pair{hShrI, hShrCL}
+	case x64.SAR:
+		h = pair{hSarI, hSarCL}
+	case x64.ROL:
+		h = pair{hRolI, hRolCL}
+	case x64.ROR:
+		h = pair{hRorI, hRorCL}
+	}
+	if byCL {
+		u.run = h.cl
+	} else {
+		u.run = h.imm
+	}
+}
+
+// RunCompiled executes a compiled program from the current machine state.
+// It is the execute phase of the two-phase pipeline and agrees with Run on
+// every observable: Outcome counters, registers, flags, memory and
+// definedness (the randomized differential tests pin this).
+//
+// The compiled pc advances strictly forward (skip chains, jump targets and
+// fall-throughs all point past the current slot), so Steps never exceeds
+// the slot count and the per-slot exhaustion check is provably dead
+// whenever the program fits the step budget; the common path runs without
+// it.
+func (m *Machine) RunCompiled(c *Compiled) Outcome {
+	var out Outcome
+	pc, n := 0, len(c.ops)
+	if n > m.MaxSteps {
+		return m.runCompiledBounded(c)
+	}
+	for pc < n {
+		u := &c.ops[pc]
+		switch u.kind {
+		case mkSkip:
+			pc = int(u.next)
+			continue
+		case mkRet:
+			pc = n
+			continue
+		case mkJmp:
+			out.Steps++
+			pc = int(u.target)
+			continue
+		case mkJcc:
+			out.Steps++
+			if x64.EvalCond(u.cc, m.readFlagsFor(u.cc)) {
+				pc = int(u.target)
+			} else {
+				pc = int(u.next)
+			}
+			continue
+		case mkMovRRW:
+			m.setReg(u.dst, m.readReg(u.src, u.mask))
+		case mkMovRIW:
+			m.setReg(u.dst, u.imm)
+		case mkMovLoadW:
+			m.setReg(u.dst, m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w)))
+		case mkMovStoreR:
+			v := m.readReg(u.src, widthMask(u.w))
+			m.store(m.effectiveAddr(u.in.Opd[1]), int(u.w), v)
+		case mkAddRRW:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a + b) & u.mask
+			m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+			m.setReg(u.dst, r)
+		case mkAddRIW:
+			a := m.readReg(u.dst, u.mask)
+			r := (a + u.imm) & u.mask
+			m.putFlags(x64.AllFlags, addBits(a, u.imm, 0, r, u))
+			m.setReg(u.dst, r)
+		case mkSubRRW:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a - b) & u.mask
+			m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+			m.setReg(u.dst, r)
+		case mkSubRIW:
+			a := m.readReg(u.dst, u.mask)
+			r := (a - u.imm) & u.mask
+			m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, r, u))
+			m.setReg(u.dst, r)
+		case mkAndRRW:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a & b
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkAndRIW:
+			a := m.readReg(u.dst, u.mask)
+			r := a & u.imm
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkOrRRW:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a | b
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkOrRIW:
+			a := m.readReg(u.dst, u.mask)
+			r := a | u.imm
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkXorRRW:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a ^ b
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkXorRIW:
+			a := m.readReg(u.dst, u.mask)
+			r := a ^ u.imm
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkZeroW:
+			m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+			m.setReg(u.dst, 0)
+		case mkCmpRR:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+		case mkCmpRI:
+			a := m.readReg(u.dst, u.mask)
+			m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, (a-u.imm)&u.mask, u))
+		case mkTestRR:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.putFlags(x64.AllFlags, szpBits(a&b, u.sbit))
+		case mkTestRI:
+			a := m.readReg(u.dst, u.mask)
+			m.putFlags(x64.AllFlags, szpBits(a&u.imm, u.sbit))
+		case mkLeaW:
+			m.setReg(u.dst, m.effectiveAddr(u.in.Opd[0])&u.mask)
+		case mkCmovRRW:
+			taken := x64.EvalCond(u.cc, m.readFlagsFor(u.cc))
+			src := m.readReg(u.src, u.mask)
+			dst := m.readReg(u.dst, u.mask)
+			v := dst
+			if taken {
+				v = src
+			}
+			m.setReg(u.dst, v)
+		case mkIncW:
+			a := m.readReg(u.dst, u.mask)
+			r := (a + 1) & u.mask
+			fl := szpBits(r, u.sbit)
+			if r == u.sbit {
+				fl |= x64.OF
+			}
+			m.putFlags(incDecFlags, fl)
+			m.setReg(u.dst, r)
+		case mkDecW:
+			a := m.readReg(u.dst, u.mask)
+			r := (a - 1) & u.mask
+			fl := szpBits(r, u.sbit)
+			if a == u.sbit {
+				fl |= x64.OF
+			}
+			m.putFlags(incDecFlags, fl)
+			m.setReg(u.dst, r)
+		case mkNegW:
+			a := m.readReg(u.dst, u.mask)
+			r := (-a) & u.mask
+			fl := szpBits(r, u.sbit)
+			if a != 0 {
+				fl |= x64.CF
+			}
+			if a == u.sbit {
+				fl |= x64.OF
+			}
+			m.putFlags(x64.AllFlags, fl)
+			m.setReg(u.dst, r)
+		case mkNotW:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, ^a&u.mask)
+		default:
+			u.run(m, u)
+		}
+		out.Steps++
+		pc = int(u.next)
+	}
+	out.SigSegv = m.sigsegv
+	out.SigFpe = m.sigfpe
+	out.Undef = m.undef
+	return out
+}
+
+// runCompiledBounded is the exhaustion-checking variant for programs longer
+// than the step budget, mirroring the interpreter's check placement. Every
+// executable slot carries its handler even when a hot-dispatch code is set,
+// so this loop dispatches through the handlers alone.
+func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
+	var out Outcome
+	pc, n := 0, len(c.ops)
+	for pc < n {
+		if out.Steps >= m.MaxSteps {
+			out.Exhaust = true
+			break
+		}
+		u := &c.ops[pc]
+		switch u.kind {
+		case mkSkip:
+			pc++
+			continue
+		case mkRet:
+			pc = n
+			continue
+		case mkJmp:
+			out.Steps++
+			pc = int(u.target)
+			continue
+		case mkJcc:
+			out.Steps++
+			if x64.EvalCond(u.cc, m.readFlagsFor(u.cc)) {
+				pc = int(u.target)
+			} else {
+				pc++
+			}
+			continue
+		}
+		u.run(m, u)
+		out.Steps++
+		pc++
+	}
+	out.SigSegv = m.sigsegv
+	out.SigFpe = m.sigfpe
+	out.Undef = m.undef
+	return out
+}
+
+// --- handlers ------------------------------------------------------------
+//
+// Every handler replicates the interpreter's semantics exactly, including
+// the order and multiplicity of undef-read counting and the hardware merge
+// rules for narrow register writes. "W" suffixes mean the destination is 4
+// or 8 bytes wide (32-bit writes zero-extend, so a pre-masked value can be
+// stored directly); "N" means 1 or 2 bytes (merge with the old value,
+// counting an undef read of the destination as writeGPR does). Flag-writing
+// handlers accumulate the update into one x64.FlagSet and store it with a
+// single masked write (putFlags), which the interpreter's per-flag setFlag
+// calls are the reference for.
+
+func hGeneric(m *Machine, u *microOp) { m.exec(u.in) }
+
+func (m *Machine) readReg(r x64.Reg, mask uint64) uint64 {
+	if m.RegDef&(1<<r) == 0 {
+		m.undef++
+	}
+	return m.Regs[r] & mask
+}
+
+func (m *Machine) setReg(r x64.Reg, v uint64) {
+	m.Regs[r] = v
+	m.RegDef |= 1 << r
+	m.regsWritten |= 1 << r
+}
+
+// putFlags overwrites the flags in fmask with fl and marks them defined.
+func (m *Machine) putFlags(fmask, fl x64.FlagSet) {
+	m.Flags = m.Flags&^fmask | fl
+	m.FlagsDef |= fmask
+}
+
+// flagIf returns f when v is non-zero — branch-free, because SF/ZF/PF/CF
+// outcomes are data-random on the search workload and would mispredict.
+func flagIf(v uint64, f x64.FlagSet) x64.FlagSet {
+	return f & -x64.FlagSet((v|-v)>>63)
+}
+
+// flagIfZero returns f when v is zero, branch-free.
+func flagIfZero(v uint64, f x64.FlagSet) x64.FlagSet {
+	return f & (x64.FlagSet((v|-v)>>63) - 1)
+}
+
+// szpBits computes SF, ZF and PF for a width-masked result whose sign bit
+// is sbit (the fused equivalent of szpFlags).
+func szpBits(r, sbit uint64) x64.FlagSet {
+	fl := flagIf(r&sbit, x64.SF) | flagIfZero(r, x64.ZF)
+	fl |= x64.PF & -x64.FlagSet(uint8(bits.OnesCount8(uint8(r))&1)^1)
+	return fl
+}
+
+// addBits computes the full flag word for r = (a + b + carryIn) & mask at
+// the width described by u (the fused equivalent of addFlags).
+func addBits(a, b, carryIn, r uint64, u *microOp) x64.FlagSet {
+	fl := szpBits(r, u.sbit)
+	if u.w == 8 {
+		t := a + b
+		if t < a || t+carryIn < t {
+			fl |= x64.CF
+		}
+	} else {
+		fl |= flagIf((a+b+carryIn)>>(8*uint(u.w)), x64.CF)
+	}
+	return fl | flagIf((a^r)&(b^r)&u.sbit, x64.OF)
+}
+
+// subBits computes the full flag word for r = (a - b - borrowIn) & mask
+// (the fused equivalent of subFlags).
+func subBits(a, b, borrowIn, r uint64, u *microOp) x64.FlagSet {
+	fl := szpBits(r, u.sbit)
+	if a < b || a-b < borrowIn {
+		fl |= x64.CF
+	}
+	return fl | flagIf((a^b)&(a^r)&u.sbit, x64.OF)
+}
+
+func hMovRRW(m *Machine, u *microOp) { m.setReg(u.dst, m.readReg(u.src, u.mask)) }
+
+func hMovRRN(m *Machine, u *microOp) { m.writeGPR(u.dst, u.w, m.readReg(u.src, u.mask)) }
+
+func hMovRIW(m *Machine, u *microOp) { m.setReg(u.dst, u.imm) }
+
+func hMovRIN(m *Machine, u *microOp) { m.writeGPR(u.dst, u.w, u.imm) }
+
+func hMovLoadW(m *Machine, u *microOp) {
+	m.setReg(u.dst, m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w)))
+}
+
+func hMovLoadN(m *Machine, u *microOp) {
+	v := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w2))
+	m.writeGPR(u.dst, u.w, v)
+}
+
+func hMovStoreR(m *Machine, u *microOp) {
+	v := m.readReg(u.src, widthMask(u.w))
+	m.store(m.effectiveAddr(u.in.Opd[1]), int(u.w), v)
+}
+
+func hMovStoreI(m *Machine, u *microOp) {
+	m.store(m.effectiveAddr(u.in.Opd[1]), int(u.w), u.imm)
+}
+
+func hMovsxRR(m *Machine, u *microOp) {
+	v := m.readReg(u.src, widthMask(u.w2))
+	inv := 64 - 8*uint(u.w2)
+	m.writeALU(u, uint64(int64(v<<inv)>>inv)&u.mask)
+}
+
+// writeALU stores a pre-masked result into the destination register with
+// the hardware width rules.
+func (m *Machine) writeALU(u *microOp, r uint64) {
+	if u.w >= 4 {
+		m.setReg(u.dst, r)
+	} else {
+		m.writeGPR(u.dst, u.w, r)
+	}
+}
+
+func hAddRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	r := (a + b) & u.mask
+	m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	m.writeALU(u, r)
+}
+
+func hAddRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := (a + u.imm) & u.mask
+	m.putFlags(x64.AllFlags, addBits(a, u.imm, 0, r, u))
+	m.writeALU(u, r)
+}
+
+func hAddMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	r := (a + b) & u.mask
+	m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	m.writeALU(u, r)
+}
+
+func hSubRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	r := (a - b) & u.mask
+	m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	m.writeALU(u, r)
+}
+
+func hSubRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := (a - u.imm) & u.mask
+	m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, r, u))
+	m.writeALU(u, r)
+}
+
+func hSubMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	r := (a - b) & u.mask
+	m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	m.writeALU(u, r)
+}
+
+// carryIn reads CF for adc/sbb, counting an undef read when CF is
+// undefined, as the interpreter does.
+func (m *Machine) carryIn() uint64 {
+	if m.FlagsDef&x64.CF == 0 {
+		m.undef++
+	}
+	if m.Flags&x64.CF != 0 {
+		return 1
+	}
+	return 0
+}
+
+func hAdcRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	c := m.carryIn()
+	r := (a + b + c) & u.mask
+	m.putFlags(x64.AllFlags, addBits(a, b, c, r, u))
+	m.writeALU(u, r)
+}
+
+func hAdcRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	c := m.carryIn()
+	r := (a + u.imm + c) & u.mask
+	m.putFlags(x64.AllFlags, addBits(a, u.imm, c, r, u))
+	m.writeALU(u, r)
+}
+
+func hSbbRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	c := m.carryIn()
+	r := (a - b - c) & u.mask
+	m.putFlags(x64.AllFlags, subBits(a, b, c, r, u))
+	m.writeALU(u, r)
+}
+
+func hSbbRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	c := m.carryIn()
+	r := (a - u.imm - c) & u.mask
+	m.putFlags(x64.AllFlags, subBits(a, u.imm, c, r, u))
+	m.writeALU(u, r)
+}
+
+func logicBits(r uint64, u *microOp) x64.FlagSet { return szpBits(r, u.sbit) }
+
+func hAndRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	r := a & b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hAndRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := a & u.imm
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hAndMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	r := a & b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hOrRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	r := a | b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hOrRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := a | u.imm
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hOrMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	r := a | b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hXorRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	r := a ^ b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hXorRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := a ^ u.imm
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+func hXorMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	r := a ^ b
+	m.putFlags(x64.AllFlags, logicBits(r, u))
+	m.writeALU(u, r)
+}
+
+// hXorZero and hSubZero are the dependency-breaking zero idioms: defined
+// regardless of the register's contents, so no source read is counted.
+func hXorZero(m *Machine, u *microOp) {
+	m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	m.writeALU(u, 0)
+}
+
+func hSubZero(m *Machine, u *microOp) {
+	m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	m.writeALU(u, 0)
+}
+
+func hCmpRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+}
+
+func hCmpRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, (a-u.imm)&u.mask, u))
+}
+
+func hCmpMR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+}
+
+func hTestRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	b := m.readReg(u.src, u.mask)
+	m.putFlags(x64.AllFlags, logicBits(a&b, u))
+}
+
+func hTestRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	m.putFlags(x64.AllFlags, logicBits(a&u.imm, u))
+}
+
+func hLea(m *Machine, u *microOp) {
+	a := m.effectiveAddr(u.in.Opd[0])
+	m.writeALU(u, a&u.mask)
+}
+
+// incDecFlags is the PF|ZF|SF|OF-only update of inc/dec (CF untouched).
+const incDecFlags = x64.PF | x64.ZF | x64.SF | x64.OF
+
+func hIncR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := (a + 1) & u.mask
+	fl := szpBits(r, u.sbit)
+	if r == u.sbit {
+		fl |= x64.OF
+	}
+	m.putFlags(incDecFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hDecR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := (a - 1) & u.mask
+	fl := szpBits(r, u.sbit)
+	if a == u.sbit {
+		fl |= x64.OF
+	}
+	m.putFlags(incDecFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hNegR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	r := (-a) & u.mask
+	fl := szpBits(r, u.sbit)
+	if a != 0 {
+		fl |= x64.CF
+	}
+	if a == u.sbit {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hNotR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	m.writeALU(u, ^a&u.mask)
+}
+
+func hCmovRR(m *Machine, u *microOp) {
+	taken := x64.EvalCond(u.cc, m.readFlagsFor(u.cc))
+	src := m.readReg(u.src, u.mask)
+	dst := m.readReg(u.dst, u.mask)
+	v := dst
+	if taken {
+		v = src
+	}
+	// Hardware always writes the destination (32-bit cmov zero-extends
+	// even when the move does not occur).
+	m.writeALU(u, v)
+}
+
+func hSetccR(m *Machine, u *microOp) {
+	v := uint64(0)
+	if x64.EvalCond(u.cc, m.readFlagsFor(u.cc)) {
+		v = 1
+	}
+	m.writeGPR(u.dst, 1, v)
+}
+
+// imulBits is the fused imulFlags: CF = OF = (full product does not fit),
+// plus deterministic SF/ZF/PF from the truncated result.
+func imulBits(hi, lo int64, r uint64, u *microOp) x64.FlagSet {
+	var overflow bool
+	if u.w == 8 {
+		overflow = hi != lo>>63
+	} else {
+		inv := 64 - 8*uint(u.w)
+		overflow = lo != int64(r<<inv)>>inv
+	}
+	fl := szpBits(r, u.sbit)
+	if overflow {
+		fl |= x64.CF | x64.OF
+	}
+	return fl
+}
+
+// sext sign-extends a width-w2 value (branch-free signExtend).
+func sext(v uint64, w uint8) int64 {
+	inv := 64 - 8*uint(w)
+	return int64(v<<inv) >> inv
+}
+
+func hImulRR(m *Machine, u *microOp) {
+	a := sext(m.readReg(u.dst, u.mask), u.w)
+	b := sext(m.readReg(u.src, u.mask), u.w)
+	hi, lo := mulSigned(a, b)
+	r := uint64(lo) & u.mask
+	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	m.writeALU(u, r)
+}
+
+func hImulMR(m *Machine, u *microOp) {
+	a := sext(m.readReg(u.dst, u.mask), u.w)
+	b := sext(m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w)), u.w)
+	hi, lo := mulSigned(a, b)
+	r := uint64(lo) & u.mask
+	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	m.writeALU(u, r)
+}
+
+func hImul3RR(m *Machine, u *microOp) {
+	a := sext(m.readReg(u.src, u.mask), u.w)
+	b := sext(u.imm, u.w)
+	hi, lo := mulSigned(a, b)
+	r := uint64(lo) & u.mask
+	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	m.writeALU(u, r)
+}
+
+// hMul1R and hImul1R are the widening one-operand multiplies with a
+// register source: RDX:RAX = RAX * src (or EDX:EAX at width 4, where the
+// destination writes zero-extend so the pre-masked halves store directly).
+func hMul1R(m *Machine, u *microOp) {
+	src := m.readReg(u.src, u.mask)
+	a := m.readReg(x64.RAX, u.mask)
+	var hiOut, loOut uint64
+	var overflow bool
+	if u.w == 8 {
+		hi, lo := bits.Mul64(a, src)
+		hiOut, loOut = hi, lo
+		overflow = hi != 0
+	} else {
+		full := a * src
+		loOut = full & u.mask
+		hiOut = full >> (8 * uint(u.w)) & u.mask
+		overflow = hiOut != 0
+	}
+	m.setReg(x64.RAX, loOut)
+	m.setReg(x64.RDX, hiOut)
+	fl := szpBits(loOut, u.sbit)
+	if overflow {
+		fl |= x64.CF | x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+}
+
+func hImul1R(m *Machine, u *microOp) {
+	src := m.readReg(u.src, u.mask)
+	a := m.readReg(x64.RAX, u.mask)
+	sa, sb := sext(a, u.w), sext(src, u.w)
+	var hiOut, loOut uint64
+	var overflow bool
+	if u.w == 8 {
+		hi, lo := mulSigned(sa, sb)
+		hiOut, loOut = uint64(hi), uint64(lo)
+		overflow = hi != lo>>63
+	} else {
+		full := sa * sb
+		loOut = uint64(full) & u.mask
+		hiOut = uint64(full>>(8*uint(u.w))) & u.mask
+		overflow = full != sext(uint64(full)&u.mask, u.w)
+	}
+	m.setReg(x64.RAX, loOut)
+	m.setReg(x64.RDX, hiOut)
+	fl := szpBits(loOut, u.sbit)
+	if overflow {
+		fl |= x64.CF | x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+}
+
+// --- shifts --------------------------------------------------------------
+//
+// The count is pre-masked for immediate forms and read from CL for the
+// register forms; a zero count reads and rewrites the destination without
+// touching flags, exactly as execShift does.
+
+func (m *Machine) shiftCL(u *microOp) uint64 {
+	count := m.readReg(x64.RCX, 0xff)
+	if u.w == 8 {
+		return count & 63
+	}
+	return count & 31
+}
+
+func shlCore(m *Machine, u *microOp, a, count uint64) {
+	bitsW := uint64(8 * uint(u.w))
+	r := a << count & u.mask
+	cf := count <= bitsW && a>>(bitsW-count)&1 != 0
+	fl := szpBits(r, u.sbit)
+	if cf {
+		fl |= x64.CF
+	}
+	if (r&u.sbit != 0) != cf {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func shrCore(m *Machine, u *microOp, a, count uint64) {
+	r := a >> count
+	fl := szpBits(r, u.sbit)
+	if a>>(count-1)&1 != 0 {
+		fl |= x64.CF
+	}
+	if a&u.sbit != 0 {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func sarCore(m *Machine, u *microOp, a, count uint64) {
+	se := sext(a, u.w)
+	r := uint64(se>>count) & u.mask
+	fl := szpBits(r, u.sbit)
+	// The last bit shifted out, reading the sign-extended value so that
+	// counts past the width see the sign bit.
+	if se>>min(count-1, 63)&1 != 0 {
+		fl |= x64.CF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func rolCore(m *Machine, u *microOp, a, count uint64) {
+	bitsW := uint64(8 * uint(u.w))
+	c := count % bitsW
+	r := (a<<c | a>>(bitsW-c)) & u.mask
+	if c == 0 {
+		r = a
+	}
+	cf := r&1 != 0
+	var fl x64.FlagSet
+	if cf {
+		fl |= x64.CF
+	}
+	if (r&u.sbit != 0) != cf {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.CF|x64.OF, fl)
+	m.writeALU(u, r)
+}
+
+func rorCore(m *Machine, u *microOp, a, count uint64) {
+	bitsW := uint64(8 * uint(u.w))
+	c := count % bitsW
+	r := (a>>c | a<<(bitsW-c)) & u.mask
+	if c == 0 {
+		r = a
+	}
+	var fl x64.FlagSet
+	if r&u.sbit != 0 {
+		fl |= x64.CF
+	}
+	if (r&u.sbit != 0) != (r&(u.sbit>>1) != 0) {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.CF|x64.OF, fl)
+	m.writeALU(u, r)
+}
+
+func hShlI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	shlCore(m, u, a, u.imm)
+}
+
+func hShrI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	shrCore(m, u, a, u.imm)
+}
+
+func hSarI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	sarCore(m, u, a, u.imm)
+}
+
+func hRolI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	rolCore(m, u, a, u.imm)
+}
+
+func hRorI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	rorCore(m, u, a, u.imm)
+}
+
+func hShlCL(m *Machine, u *microOp) {
+	count := m.shiftCL(u)
+	a := m.readReg(u.dst, u.mask)
+	if count == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	shlCore(m, u, a, count)
+}
+
+func hShrCL(m *Machine, u *microOp) {
+	count := m.shiftCL(u)
+	a := m.readReg(u.dst, u.mask)
+	if count == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	shrCore(m, u, a, count)
+}
+
+func hSarCL(m *Machine, u *microOp) {
+	count := m.shiftCL(u)
+	a := m.readReg(u.dst, u.mask)
+	if count == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	sarCore(m, u, a, count)
+}
+
+func hRolCL(m *Machine, u *microOp) {
+	count := m.shiftCL(u)
+	a := m.readReg(u.dst, u.mask)
+	if count == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	rolCore(m, u, a, count)
+}
+
+func hRorCL(m *Machine, u *microOp) {
+	count := m.shiftCL(u)
+	a := m.readReg(u.dst, u.mask)
+	if count == 0 {
+		m.writeALU(u, a)
+		return
+	}
+	rorCore(m, u, a, count)
+}
+
+// --- bit ops, exchanges, stack -------------------------------------------
+
+func hPopcntRR(m *Machine, u *microOp) {
+	a := m.readReg(u.src, u.mask)
+	r := uint64(bits.OnesCount64(a))
+	var fl x64.FlagSet
+	if a == 0 {
+		fl |= x64.ZF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hBsfRR(m *Machine, u *microOp) {
+	a := m.readReg(u.src, u.mask)
+	var r uint64
+	var fl x64.FlagSet
+	if a == 0 {
+		// Deterministic model: result 0 when the source is zero.
+		fl |= x64.ZF
+	} else {
+		r = uint64(bits.TrailingZeros64(a))
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hBsrRR(m *Machine, u *microOp) {
+	a := m.readReg(u.src, u.mask)
+	var r uint64
+	var fl x64.FlagSet
+	if a == 0 {
+		fl |= x64.ZF
+	} else {
+		r = uint64(63 - bits.LeadingZeros64(a))
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hBswapR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	if u.w == 4 {
+		m.writeALU(u, uint64(bits.ReverseBytes32(uint32(a))))
+	} else {
+		m.writeALU(u, bits.ReverseBytes64(a))
+	}
+}
+
+func hBtRR(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	idx := m.readReg(u.src, u.mask) % (8 * uint64(u.w))
+	var fl x64.FlagSet
+	if a>>idx&1 != 0 {
+		fl |= x64.CF
+	}
+	m.putFlags(x64.CF, fl)
+}
+
+func hBtRI(m *Machine, u *microOp) {
+	a := m.readReg(u.dst, u.mask)
+	idx := u.imm % (8 * uint64(u.w))
+	var fl x64.FlagSet
+	if a>>idx&1 != 0 {
+		fl |= x64.CF
+	}
+	m.putFlags(x64.CF, fl)
+}
+
+func hXchgRR(m *Machine, u *microOp) {
+	a := m.readReg(u.src, u.mask)
+	b := m.readReg(u.dst, u.mask)
+	if u.w >= 4 {
+		m.setReg(u.src, b)
+		m.setReg(u.dst, a)
+	} else {
+		m.writeGPR(u.src, u.w, b)
+		m.writeGPR(u.dst, u.w, a)
+	}
+}
+
+func hPushR(m *Machine, u *microOp) {
+	v := m.readReg(u.src, ^uint64(0))
+	if m.RegDef&(1<<x64.RSP) == 0 {
+		m.undef++
+	}
+	m.Regs[x64.RSP] -= 8
+	m.regsWritten |= 1 << x64.RSP
+	m.store(m.Regs[x64.RSP], 8, v)
+}
+
+func hPushI(m *Machine, u *microOp) {
+	if m.RegDef&(1<<x64.RSP) == 0 {
+		m.undef++
+	}
+	m.Regs[x64.RSP] -= 8
+	m.regsWritten |= 1 << x64.RSP
+	m.store(m.Regs[x64.RSP], 8, u.imm)
+}
+
+func hPopR(m *Machine, u *microOp) {
+	if m.RegDef&(1<<x64.RSP) == 0 {
+		m.undef++
+	}
+	v := m.load(m.Regs[x64.RSP], 8)
+	m.Regs[x64.RSP] += 8
+	m.regsWritten |= 1 << x64.RSP
+	m.setReg(u.dst, v)
+}

@@ -139,6 +139,7 @@ func (m *Machine) exec(in *x64.Inst) {
 			m.undef++
 		}
 		m.Regs[x64.RSP] -= 8
+		m.regsWritten |= 1 << x64.RSP
 		m.store(m.Regs[x64.RSP], 8, v)
 
 	case x64.POP:
@@ -147,6 +148,7 @@ func (m *Machine) exec(in *x64.Inst) {
 		}
 		v := m.load(m.Regs[x64.RSP], 8)
 		m.Regs[x64.RSP] += 8
+		m.regsWritten |= 1 << x64.RSP
 		m.writeOperand(in.Opd[0], v)
 
 	case x64.CMOVcc:

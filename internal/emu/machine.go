@@ -1,4 +1,5 @@
-// Package emu implements a sandboxed interpreter for the x64 subset ISA.
+// Package emu implements a sandboxed emulator for the x64 subset ISA with a
+// two-phase, decode-once evaluation pipeline.
 //
 // It plays the role of the hardware emulator in §4.1 of the paper: candidate
 // rewrites are run against testcases at high throughput, and the three
@@ -7,10 +8,27 @@
 // the sandbox (sigsegv), divide faults (sigfpe), and reads from undefined
 // registers, flags or memory (undef). Invalid dereferences read as constant
 // zero and invalid stores are dropped, exactly as described in §5.1.
+//
+// Execution comes in two forms:
+//
+//   - Machine.Run interprets an *x64.Program directly, re-decoding each
+//     instruction through the opcode switch on every execution. It is the
+//     semantic reference: simple, obviously faithful, and kept alive so the
+//     differential tests can pin the fast path against it.
+//   - Compile lowers a program once into a *Compiled — per-slot handlers
+//     with operands, widths, masks and jump targets pre-resolved — and
+//     Machine.RunCompiled dispatches over that form. The MCMC search
+//     evaluates millions of candidates that differ in at most two slots
+//     from their predecessor, so Compiled supports O(1) slot patching
+//     instead of recompilation (see compile.go).
+//
+// Both forms agree on every observable (Outcome counters, registers, flags,
+// memory, definedness); randomized differential tests enforce this.
 package emu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/x64"
 )
@@ -57,13 +75,17 @@ func (s *Snapshot) Clone() *Snapshot {
 	return &out
 }
 
-// segment is the machine's mutable view of one MemImage.
+// segment is the machine's mutable view of one MemImage. dirtyLo/dirtyHi
+// bound the bytes stores have touched since the last snapshot load (empty
+// when dirtyHi <= dirtyLo), so a cached reload restores only that range;
+// valid is never mutated by execution and needs no restore at all.
 type segment struct {
-	base  uint64
-	data  []byte
-	def   []bool
-	valid []bool
-	init  MemImage // backing image for Reset
+	base    uint64
+	data    []byte
+	def     []bool
+	valid   []bool
+	dirtyLo int
+	dirtyHi int
 }
 
 // Outcome summarises one execution.
@@ -100,6 +122,23 @@ type Machine struct {
 	// dereferences. It stands in for the PinTool instrumentation of §5.1:
 	// the addresses the target touches define the sandbox for rewrites.
 	trace *Trace
+
+	// lastSnap, memDirty and xmmDirty drive LoadSnapshotCached: when the
+	// machine is pinned to one testcase (the compiled evaluation pipeline
+	// runs one machine per testcase) and the last execution never stored to
+	// memory, reloading the same snapshot skips the segment copies
+	// entirely; if it never wrote an XMM register, the 256-byte XMM restore
+	// is skipped too.
+	lastSnap *Snapshot
+	memDirty bool
+	xmmDirty bool
+
+	// regsWritten is the bitset of GPRs written since the last snapshot
+	// load; the cached reload restores exactly those instead of copying
+	// the whole register file. Every GPR mutation path (writeGPR, the
+	// compiled setReg, and the direct rsp updates of push/pop) records
+	// into it.
+	regsWritten uint16
 }
 
 // Trace records the byte addresses dereferenced during instrumented runs.
@@ -148,8 +187,52 @@ func (m *Machine) LoadSnapshot(s *Snapshot) {
 		copy(sg.data, im.Data)
 		copy(sg.def, im.Def)
 		copy(sg.valid, im.Valid)
-		sg.init = *im
+		sg.dirtyLo, sg.dirtyHi = len(sg.data), 0
 	}
+	m.lastSnap = s
+	m.memDirty = false
+	m.xmmDirty = false
+	m.regsWritten = 0
+}
+
+// LoadSnapshotCached is LoadSnapshot for a machine pinned to one testcase:
+// when s is the snapshot loaded last time and no store has dirtied the
+// segments since, only registers, flags and fault counters are restored
+// (and the XMM file only if an XMM write dirtied it). The caller must
+// treat a snapshot's contents as immutable while reusing it this way
+// (testcase snapshots are).
+func (m *Machine) LoadSnapshotCached(s *Snapshot) {
+	if m.lastSnap != s {
+		m.LoadSnapshot(s)
+		return
+	}
+	if m.memDirty {
+		for i := range m.segs {
+			sg := &m.segs[i]
+			if sg.dirtyHi <= sg.dirtyLo {
+				continue
+			}
+			im := &s.Mem[i]
+			copy(sg.data[sg.dirtyLo:sg.dirtyHi], im.Data[sg.dirtyLo:sg.dirtyHi])
+			copy(sg.def[sg.dirtyLo:sg.dirtyHi], im.Def[sg.dirtyLo:sg.dirtyHi])
+			sg.dirtyLo, sg.dirtyHi = len(sg.data), 0
+		}
+		m.memDirty = false
+	}
+	for w := m.regsWritten; w != 0; w &= w - 1 {
+		r := bits.TrailingZeros16(w)
+		m.Regs[r] = s.Regs[r]
+	}
+	m.regsWritten = 0
+	m.RegDef = s.RegDef
+	if m.xmmDirty {
+		m.Xmm = s.Xmm
+		m.XmmDef = s.XmmDef
+		m.xmmDirty = false
+	}
+	m.Flags = s.Flags
+	m.FlagsDef = s.FlagsDef
+	m.sigsegv, m.sigfpe, m.undef = 0, 0, 0
 }
 
 // findSeg returns the segment containing [addr, addr+n), or nil.
@@ -181,26 +264,22 @@ func (m *Machine) loadBytes(addr uint64, n int, out []byte) {
 		return
 	}
 	off := addr - sg.base
+	for _, ok := range sg.valid[off : off+uint64(n)] {
+		if !ok {
+			m.sigsegv++
+			for i := 0; i < n; i++ {
+				out[i] = 0
+			}
+			return
+		}
+	}
 	sawUndef := false
-	sawInvalid := false
-	for i := 0; i < n; i++ {
-		if !sg.valid[off+uint64(i)] {
-			sawInvalid = true
-		}
-	}
-	if sawInvalid {
-		m.sigsegv++
-		for i := 0; i < n; i++ {
-			out[i] = 0
-		}
-		return
-	}
-	for i := 0; i < n; i++ {
-		if !sg.def[off+uint64(i)] {
+	for _, d := range sg.def[off : off+uint64(n)] {
+		if !d {
 			sawUndef = true
 		}
-		out[i] = sg.data[off+uint64(i)]
 	}
+	copy(out, sg.data[off:off+uint64(n)])
 	if sawUndef {
 		m.undef++
 	}
@@ -220,16 +299,24 @@ func (m *Machine) storeBytes(addr uint64, n int, in []byte) {
 		return
 	}
 	off := addr - sg.base
-	for i := 0; i < n; i++ {
-		if !sg.valid[off+uint64(i)] {
+	for _, ok := range sg.valid[off : off+uint64(n)] {
+		if !ok {
 			m.sigsegv++
 			return
 		}
 	}
-	for i := 0; i < n; i++ {
-		sg.data[off+uint64(i)] = in[i]
-		sg.def[off+uint64(i)] = true
+	copy(sg.data[off:off+uint64(n)], in[:n])
+	def := sg.def[off : off+uint64(n)]
+	for i := range def {
+		def[i] = true
 	}
+	if int(off) < sg.dirtyLo {
+		sg.dirtyLo = int(off)
+	}
+	if int(off)+n > sg.dirtyHi {
+		sg.dirtyHi = int(off) + n
+	}
+	m.memDirty = true
 }
 
 // load reads an n-byte little-endian value (n <= 8).
@@ -318,6 +405,7 @@ func (m *Machine) readGPR(r x64.Reg, w uint8) uint64 {
 // with an undefined register reads its undefined upper bits, which counts
 // against the undef term just like any other undefined read.
 func (m *Machine) writeGPR(r x64.Reg, w uint8, v uint64) {
+	m.regsWritten |= 1 << r
 	switch w {
 	case 8:
 		m.Regs[r] = v
@@ -374,6 +462,7 @@ func (m *Machine) readXmm(r x64.Reg) [2]uint64 {
 func (m *Machine) writeXmm(r x64.Reg, v [2]uint64) {
 	m.Xmm[r] = v
 	m.XmmDef |= 1 << r
+	m.xmmDirty = true
 }
 
 // readFlags checks definedness of the flags a condition inspects and

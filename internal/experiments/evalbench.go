@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/kernels"
+	"repro/internal/mcmc"
+	"repro/internal/testgen"
+)
+
+// EvalRate is one measured configuration of the evaluation-throughput
+// baseline: a kernel, a sequence length, and one of the two evaluation
+// pipelines.
+type EvalRate struct {
+	Kernel          string  `json:"kernel"`
+	Ell             int     `json:"ell"`
+	Mode            string  `json:"mode"` // "interpreted" or "compiled"
+	Proposals       int64   `json:"proposals"`
+	Seconds         float64 `json:"seconds"`
+	ProposalsPerSec float64 `json:"proposals_per_sec"`
+}
+
+// EvalBaseline is the machine-readable record emitted as BENCH_eval.json:
+// the decode-once pipeline's throughput against the interpreter, tracked
+// across PRs so regressions in the evaluation substrate are visible.
+type EvalBaseline struct {
+	GoVersion string     `json:"go_version"`
+	GOARCH    string     `json:"goarch"`
+	Date      string     `json:"date"`
+	Runs      []EvalRate `json:"runs"`
+
+	// Speedups maps "kernel/ell=N" to compiled-over-interpreted
+	// proposals/sec.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// evalConfigs are the measured profiles: the headline p01 ℓ=14/ℓ=50 pair
+// matching BenchmarkEvalThroughput, plus a longer register kernel and the
+// memory-heavy Montgomery kernel as secondary tracking points.
+var evalConfigs = []struct {
+	kernel string
+	ell    int
+}{
+	{"p01", 14},
+	{"p01", 50},
+	{"p23", 50},
+	{"mont", 50},
+}
+
+// MeasureEvalThroughput runs each baseline configuration for the given
+// proposal budget through both evaluation pipelines (an optimization-phase
+// chain: β=1, perf term on, started from the target).
+func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
+	base := EvalBaseline{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Speedups:  map[string]float64{},
+	}
+	for _, cfg := range evalConfigs {
+		bench, err := kernels.ByName(cfg.kernel)
+		if err != nil {
+			return base, err
+		}
+		tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(8)))
+		if err != nil {
+			return base, err
+		}
+		var rates [2]float64
+		for mi, mode := range []string{"interpreted", "compiled"} {
+			params := mcmc.PaperParams
+			params.Ell = cfg.ell
+			params.Beta = 1.0
+			s := &mcmc.Sampler{
+				Params:      params,
+				Pools:       mcmc.PoolsFor(bench.Target, false),
+				Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
+				Rng:         rand.New(rand.NewSource(9)),
+				Interpreted: mi == 0,
+			}
+			start := time.Now()
+			s.Run(context.Background(), bench.Target, proposals)
+			dur := time.Since(start)
+			rate := float64(proposals) / dur.Seconds()
+			rates[mi] = rate
+			base.Runs = append(base.Runs, EvalRate{
+				Kernel:          cfg.kernel,
+				Ell:             cfg.ell,
+				Mode:            mode,
+				Proposals:       proposals,
+				Seconds:         dur.Seconds(),
+				ProposalsPerSec: rate,
+			})
+		}
+		base.Speedups[fmt.Sprintf("%s/ell=%d", cfg.kernel, cfg.ell)] = rates[1] / rates[0]
+	}
+	return base, nil
+}
+
+// WriteEvalBaseline measures evaluation throughput and writes the baseline
+// JSON to path.
+func WriteEvalBaseline(path string, proposals int64) (EvalBaseline, error) {
+	base, err := MeasureEvalThroughput(proposals)
+	if err != nil {
+		return base, err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return base, err
+	}
+	data = append(data, '\n')
+	return base, os.WriteFile(path, data, 0o644)
+}

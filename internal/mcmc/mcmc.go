@@ -6,6 +6,15 @@
 // optimisation of §4.5 (Equation 14): the acceptance coin is flipped first,
 // converted into a maximum acceptable cost, and testcase evaluation stops
 // as soon as the running cost exceeds it.
+//
+// A chain evaluates candidates through the decode-once compiled pipeline by
+// default: the current program is compiled once, every move mutates at most
+// two instruction slots in place, exactly those slots are re-lowered in the
+// compiled form (with the saved instructions restored — and re-patched — on
+// rejection), and cost.Fn.EvalCompiled scores the patched form. Setting
+// Sampler.Interpreted reverts to the seed discipline (copy the ℓ-slot
+// program and re-interpret it from scratch per proposal), kept alive as the
+// semantic reference for differential tests and A/B benchmarks.
 package mcmc
 
 import (
@@ -154,6 +163,13 @@ type Sampler struct {
 	Cost   *cost.Fn
 	Rng    *rand.Rand
 
+	// Interpreted selects the seed evaluation discipline (full program
+	// copy plus from-scratch interpretation per proposal) instead of the
+	// compiled patch-and-evaluate pipeline. The two paths draw identical
+	// proposal streams and agree on every accept/reject decision up to
+	// floating-point summation order.
+	Interpreted bool
+
 	// OnImprove, when set, is invoked with a clone of the best-so-far
 	// program each time the best cost drops (used to trace Figures 7/8).
 	OnImprove func(iter int64, c float64, p *x64.Program)
@@ -205,21 +221,176 @@ func (s *Sampler) Run(ctx context.Context, start *x64.Program, proposals int64) 
 		s.Params = PaperParams
 	}
 	cur := start.PadTo(s.Params.Ell)
-	curRes := s.Cost.Eval(cur, cost.MaxBudget)
-	curCost := curRes.Cost
-	s.Stats.TestsEvaluated += int64(curRes.TestsRun)
-
-	best := cur.Clone()
-	bestCost := curCost
-	zero := curRes.EqCost == 0
-
-	var bestCorrect *x64.Program
-	bestCorrectCost := math.Inf(1)
-	if zero {
-		bestCorrect = cur.Clone()
-		bestCorrectCost = curCost
+	if s.Interpreted {
+		return s.runInterpreted(ctx, cur, proposals)
 	}
-	sinceImprove := int64(0)
+	return s.runCompiled(ctx, cur, proposals)
+}
+
+// chainState is the per-chain bookkeeping shared by both evaluation paths:
+// best-seen and best-correct tracking, restart pacing, the Equation 14
+// acceptance-bound draw, and the final Result. The loops themselves differ
+// only in their evaluate/commit/undo mechanics.
+type chainState struct {
+	s               *Sampler
+	curCost         float64
+	best            *x64.Program
+	bestCost        float64
+	zero            bool
+	bestCorrect     *x64.Program
+	bestCorrectCost float64
+	sinceImprove    int64
+}
+
+// newChain seeds the bookkeeping from the starting program's evaluation.
+func (s *Sampler) newChain(cur *x64.Program, curRes cost.Result) *chainState {
+	s.Stats.TestsEvaluated += int64(curRes.TestsRun)
+	cs := &chainState{
+		s:               s,
+		curCost:         curRes.Cost,
+		best:            cur.Clone(),
+		bestCost:        curRes.Cost,
+		bestCorrectCost: math.Inf(1),
+	}
+	if curRes.EqCost == 0 {
+		cs.zero = true
+		cs.bestCorrect = cur.Clone()
+		cs.bestCorrectCost = curRes.Cost
+	}
+	return cs
+}
+
+// restartDue reports whether the optional restart should rewind the chain
+// to the best correct program seen (an extension over the paper; disabled
+// when RestartAfter is zero), adjusting the cost bookkeeping; the caller
+// copies cs.bestCorrect into the current program and resyncs its compiled
+// form.
+func (cs *chainState) restartDue() bool {
+	if cs.s.RestartAfter <= 0 || cs.sinceImprove < cs.s.RestartAfter || cs.bestCorrect == nil {
+		return false
+	}
+	cs.curCost = cs.bestCorrectCost
+	cs.sinceImprove = 0
+	return true
+}
+
+// bound draws the early-termination acceptance bound (Equation 14): sample
+// the coin first and convert it into the maximum cost the proposal could be
+// accepted at, so the evaluator can stop as soon as it is exceeded.
+func (cs *chainState) bound() float64 {
+	b := cs.curCost
+	if p := cs.s.Rng.Float64(); p < 1 {
+		b = cs.curCost - math.Log(p)/cs.s.Params.Beta
+	}
+	return b
+}
+
+// accept records an accepted proposal, with cur already holding the
+// accepted program.
+func (cs *chainState) accept(i int64, cur *x64.Program, res cost.Result) {
+	s := cs.s
+	cs.curCost = res.Cost
+	s.Stats.Accepts++
+	if res.EqCost == 0 {
+		cs.zero = true
+		if cs.curCost < cs.bestCorrectCost {
+			cs.bestCorrectCost = cs.curCost
+			if cs.bestCorrect == nil {
+				cs.bestCorrect = cur.Clone()
+			} else {
+				copy(cs.bestCorrect.Insts, cur.Insts)
+			}
+			cs.sinceImprove = 0
+		}
+	}
+	if cs.curCost < cs.bestCost {
+		cs.bestCost = cs.curCost
+		copy(cs.best.Insts, cur.Insts)
+		cs.sinceImprove = 0
+		if s.OnImprove != nil {
+			s.OnImprove(i, cs.curCost, cs.best.Clone())
+		}
+	}
+}
+
+// tick fires the periodic stats callback.
+func (cs *chainState) tick() {
+	s := cs.s
+	if s.OnStep != nil && s.StepInterval > 0 && s.Stats.Proposals%s.StepInterval == 0 {
+		s.OnStep(s.Stats, cs.curCost)
+	}
+}
+
+// result assembles the chain's outcome.
+func (cs *chainState) result() Result {
+	return Result{
+		Best: cs.best, BestCost: cs.bestCost,
+		BestCorrect: cs.bestCorrect, BestCorrectCost: cs.bestCorrectCost,
+		ZeroCost: cs.zero, Stats: cs.s.Stats,
+	}
+}
+
+// runCompiled is the chain loop over the decode-once pipeline: the current
+// program is mutated in place, the compiled form is patched at exactly the
+// slots a move touched, and rejection restores (and re-patches) the saved
+// instructions. Chain restarts rewrite the whole program and recompile.
+func (s *Sampler) runCompiled(ctx context.Context, cur *x64.Program, proposals int64) Result {
+	comp := s.Cost.Compile(cur)
+	cs := s.newChain(cur, s.Cost.EvalCompiled(comp, cost.MaxBudget))
+
+	for i := int64(0); i < proposals; i++ {
+		if i%ctxCheckInterval == 0 && ctx.Err() != nil {
+			break
+		}
+		s.Stats.Proposals++
+		cs.sinceImprove++
+
+		if cs.restartDue() {
+			copy(cur.Insts, cs.bestCorrect.Insts)
+			comp.Recompile()
+		}
+
+		rec, ok := s.proposeTracked(cur)
+		if !ok {
+			// Degenerate move (e.g. no live instruction to mutate): the
+			// proposal equals the current state and is trivially accepted.
+			s.Stats.Accepts++
+			continue
+		}
+		for k := 0; k < rec.n; k++ {
+			comp.Patch(rec.idx[k])
+		}
+
+		bound := cs.bound()
+		res := s.Cost.EvalCompiled(comp, bound)
+		s.Stats.TestsEvaluated += int64(res.TestsRun)
+
+		if !res.Early && res.Cost <= bound {
+			// Accept: cur and comp already hold the proposal.
+			cs.accept(i, cur, res)
+		} else {
+			// Reject: restore the touched slots and re-patch them.
+			for k := 0; k < rec.n; k++ {
+				cur.Insts[rec.idx[k]] = rec.old[k]
+			}
+			for k := 0; k < rec.n; k++ {
+				comp.Patch(rec.idx[k])
+			}
+		}
+
+		cs.tick()
+		if cs.bestCost == 0 {
+			break // nothing left to minimise
+		}
+	}
+	return cs.result()
+}
+
+// runInterpreted is the seed chain loop: copy the whole ℓ-slot program per
+// proposal and re-interpret it from scratch. It is the baseline the
+// compiled pipeline is benchmarked and differentially tested against.
+func (s *Sampler) runInterpreted(ctx context.Context, cur *x64.Program, proposals int64) Result {
+	cs := s.newChain(cur, s.Cost.Eval(cur, cost.MaxBudget))
 
 	scratch := cur.Clone()
 	for i := int64(0); i < proposals; i++ {
@@ -227,16 +398,10 @@ func (s *Sampler) Run(ctx context.Context, start *x64.Program, proposals int64) 
 			break
 		}
 		s.Stats.Proposals++
-		sinceImprove++
+		cs.sinceImprove++
 
-		// Optional restart: a chain that has wandered away from the
-		// correct region for a long time resumes from the best correct
-		// program seen (an extension over the paper; disabled when
-		// RestartAfter is zero).
-		if s.RestartAfter > 0 && sinceImprove >= s.RestartAfter && bestCorrect != nil {
-			copy(cur.Insts, bestCorrect.Insts)
-			curCost = bestCorrectCost
-			sinceImprove = 0
+		if cs.restartDue() {
+			copy(cur.Insts, cs.bestCorrect.Insts)
 		}
 
 		copy(scratch.Insts, cur.Insts)
@@ -247,61 +412,51 @@ func (s *Sampler) Run(ctx context.Context, start *x64.Program, proposals int64) 
 			continue
 		}
 
-		// Early-termination acceptance (Equation 14): sample the coin
-		// first, derive the maximum cost we could accept, and let the
-		// evaluator stop as soon as that bound is exceeded.
-		bound := curCost
-		if p := s.Rng.Float64(); p < 1 {
-			bound = curCost - math.Log(p)/s.Params.Beta
-		}
+		bound := cs.bound()
 		res := s.Cost.Eval(scratch, bound)
 		s.Stats.TestsEvaluated += int64(res.TestsRun)
 
 		if !res.Early && res.Cost <= bound {
 			// Accept: swap current and scratch.
 			cur, scratch = scratch, cur
-			curCost = res.Cost
-			s.Stats.Accepts++
-			if res.EqCost == 0 {
-				zero = true
-				if curCost < bestCorrectCost {
-					bestCorrectCost = curCost
-					if bestCorrect == nil {
-						bestCorrect = cur.Clone()
-					} else {
-						copy(bestCorrect.Insts, cur.Insts)
-					}
-					sinceImprove = 0
-				}
-			}
-			if curCost < bestCost {
-				bestCost = curCost
-				copy(best.Insts, cur.Insts)
-				sinceImprove = 0
-				if s.OnImprove != nil {
-					s.OnImprove(i, curCost, best.Clone())
-				}
-			}
+			cs.accept(i, cur, res)
 		}
 
-		if s.OnStep != nil && s.StepInterval > 0 && s.Stats.Proposals%s.StepInterval == 0 {
-			s.OnStep(s.Stats, curCost)
-		}
-
-		if bestCost == 0 {
+		cs.tick()
+		if cs.bestCost == 0 {
 			break // nothing left to minimise
 		}
 	}
-	return Result{
-		Best: best, BestCost: bestCost,
-		BestCorrect: bestCorrect, BestCorrectCost: bestCorrectCost,
-		ZeroCost: zero, Stats: s.Stats,
-	}
+	return cs.result()
+}
+
+// moveRec records which instruction slots one move touched and their prior
+// contents, so the compiled pipeline can patch exactly those slots and
+// restore them on rejection. Every move type touches at most two slots.
+type moveRec struct {
+	n   int
+	idx [2]int
+	old [2]x64.Inst
+}
+
+// record notes that slot i held inst before the move.
+func (r *moveRec) record(i int, inst x64.Inst) {
+	r.idx[r.n] = i
+	r.old[r.n] = inst
+	r.n++
 }
 
 // propose applies one random move to p in place, returning false if the
 // move degenerated to a no-op.
 func (s *Sampler) propose(p *x64.Program) bool {
+	_, ok := s.proposeTracked(p)
+	return ok
+}
+
+// proposeTracked applies one random move to p in place, reporting the
+// touched slots. ok is false if the move degenerated to a no-op (in which
+// case p is unchanged and rec is empty).
+func (s *Sampler) proposeTracked(p *x64.Program) (rec moveRec, ok bool) {
 	r := s.Rng.Float64()
 	total := s.Params.PC + s.Params.PO + s.Params.PS + s.Params.PI
 	r *= total
@@ -317,39 +472,57 @@ func (s *Sampler) propose(p *x64.Program) bool {
 	}
 }
 
-// liveSlot picks a random non-UNUSED, non-LABEL, mutable instruction slot.
+// mutableSlot reports whether an opcode participates in opcode/operand
+// moves (control structure is pinned).
+func mutableSlot(op x64.Opcode) bool {
+	switch op {
+	case x64.UNUSED, x64.LABEL, x64.JMP, x64.Jcc, x64.RET:
+		return false
+	}
+	return true
+}
+
+// liveSlot picks a uniformly random non-UNUSED, non-LABEL, mutable
+// instruction slot: count the candidates, then draw once (one RNG call per
+// move instead of one per live slot).
 func (s *Sampler) liveSlot(p *x64.Program) int {
-	cand := -1
 	n := 0
-	for i, in := range p.Insts {
-		if in.Op == x64.UNUSED || in.Op == x64.LABEL || in.Op == x64.JMP ||
-			in.Op == x64.Jcc || in.Op == x64.RET {
-			continue
-		}
-		n++
-		if s.Rng.Intn(n) == 0 {
-			cand = i
+	for i := range p.Insts {
+		if mutableSlot(p.Insts[i].Op) {
+			n++
 		}
 	}
-	return cand
+	if n == 0 {
+		return -1
+	}
+	k := s.Rng.Intn(n)
+	for i := range p.Insts {
+		if mutableSlot(p.Insts[i].Op) {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
 }
 
 // moveOpcode replaces one instruction's opcode with a random opcode from
 // the equivalence class sharing its operand signature (§4.3).
-func (s *Sampler) moveOpcode(p *x64.Program) bool {
+func (s *Sampler) moveOpcode(p *x64.Program) (rec moveRec, ok bool) {
 	i := s.liveSlot(p)
 	if i < 0 {
-		return false
+		return rec, false
 	}
 	in := &p.Insts[i]
 	old := *in
-	sig, ok := x64.MatchSig(in.Op, in.Opd[:in.N])
-	if !ok {
-		return false
+	sig, sok := x64.MatchSig(in.Op, in.Opd[:in.N])
+	if !sok {
+		return rec, false
 	}
 	class := opcodeClasses[sig]
 	if len(class) == 0 {
-		return false
+		return rec, false
 	}
 	op := class[s.Rng.Intn(len(class))]
 	in.Op = op
@@ -362,21 +535,22 @@ func (s *Sampler) moveOpcode(p *x64.Program) bool {
 		// Fixed-register constraints (cl shift counts) can invalidate the
 		// swap; restore and treat as a degenerate proposal.
 		*in = old
-		return false
+		return rec, false
 	}
-	return true
+	rec.record(i, old)
+	return rec, true
 }
 
 // moveOperand replaces one randomly chosen operand with a random operand of
 // the same type (§4.3). Immediates are drawn from the constant bag.
-func (s *Sampler) moveOperand(p *x64.Program) bool {
+func (s *Sampler) moveOperand(p *x64.Program) (rec moveRec, ok bool) {
 	i := s.liveSlot(p)
 	if i < 0 {
-		return false
+		return rec, false
 	}
 	in := &p.Insts[i]
 	if in.N == 0 {
-		return false
+		return rec, false
 	}
 	slot := s.Rng.Intn(int(in.N))
 	o := in.Opd[slot]
@@ -384,7 +558,7 @@ func (s *Sampler) moveOperand(p *x64.Program) bool {
 	case x64.KindReg:
 		// Shift counts must stay in CL.
 		if isShift(in.Op) && slot == 0 && o.Width == 1 {
-			return false
+			return rec, false
 		}
 		// x86 r/m operands form one equivalence class: a register slot
 		// may become a same-width memory operand when the opcode has such
@@ -412,7 +586,7 @@ func (s *Sampler) moveOperand(p *x64.Program) bool {
 		}
 		o = *m
 	default:
-		return false
+		return rec, false
 	}
 	// Condition codes count as operands for mutation purposes.
 	old := *in
@@ -422,55 +596,60 @@ func (s *Sampler) moveOperand(p *x64.Program) bool {
 	in.Opd[slot] = o
 	if in.Validate() != nil {
 		*in = old
-		return false
+		return rec, false
 	}
-	return true
+	rec.record(i, old)
+	return rec, true
 }
 
 // moveSwap interchanges two random instruction slots (§4.3).
-func (s *Sampler) moveSwap(p *x64.Program) bool {
+func (s *Sampler) moveSwap(p *x64.Program) (rec moveRec, ok bool) {
 	n := len(p.Insts)
 	if n < 2 {
-		return false
+		return rec, false
 	}
 	i := s.Rng.Intn(n)
 	j := s.Rng.Intn(n)
 	if i == j {
-		return false
+		return rec, false
 	}
 	// Labels and jumps are pinned (control structure is not searched).
 	for _, k := range []int{i, j} {
 		switch p.Insts[k].Op {
 		case x64.LABEL, x64.JMP, x64.Jcc, x64.RET:
-			return false
+			return rec, false
 		}
 	}
+	rec.record(i, p.Insts[i])
+	rec.record(j, p.Insts[j])
 	p.Insts[i], p.Insts[j] = p.Insts[j], p.Insts[i]
-	return true
+	return rec, true
 }
 
 // moveInstruction replaces a random slot with either UNUSED (probability
 // pu) or an unconstrained random instruction (§4.3).
-func (s *Sampler) moveInstruction(p *x64.Program) bool {
+func (s *Sampler) moveInstruction(p *x64.Program) (rec moveRec, ok bool) {
 	n := len(p.Insts)
 	if n == 0 {
-		return false
+		return rec, false
 	}
 	i := s.Rng.Intn(n)
 	switch p.Insts[i].Op {
 	case x64.LABEL, x64.JMP, x64.Jcc, x64.RET:
-		return false
+		return rec, false
 	}
 	if s.Rng.Float64() < s.Params.PU {
+		rec.record(i, p.Insts[i])
 		p.Insts[i] = x64.Unused()
-		return true
+		return rec, true
 	}
-	in, ok := s.RandomInst()
-	if !ok {
-		return false
+	in, iok := s.RandomInst()
+	if !iok {
+		return rec, false
 	}
+	rec.record(i, p.Insts[i])
 	p.Insts[i] = in
-	return true
+	return rec, true
 }
 
 // RandomInst generates an unconstrained random instruction: a random

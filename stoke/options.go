@@ -8,9 +8,9 @@ import (
 	"repro/internal/verify"
 )
 
-// Default values applied before options; exported so adapters (the
-// deprecated internal/core shim) fill half-specified legacy structs from
-// the same source of truth.
+// Default values applied before options; exported so external harnesses
+// and presets derive half-specified configurations from the same source of
+// truth.
 const (
 	DefaultSynthChains    = 4
 	DefaultOptChains      = 4
@@ -43,6 +43,7 @@ type settings struct {
 	verify         verify.Config
 	observer       func(Event)
 	sse            *bool
+	interpreted    bool
 
 	// emitMu serializes this run's observer callbacks. It is per-resolve
 	// (shared by OptimizeAll's per-kernel copies, distinct across runs),
@@ -166,6 +167,15 @@ func WithMaxRefinements(n int) Option {
 // size cap, exact multiplication encoding).
 func WithVerify(cfg verify.Config) Option {
 	return func(st *settings) { st.verify = cfg }
+}
+
+// WithInterpretedEval makes every search chain evaluate candidates through
+// the reference interpreter (re-decoding each instruction on every run)
+// instead of the default decode-once compiled pipeline. The two paths agree
+// on every accept/reject decision; this switch exists for differential
+// debugging and A/B benchmarking of the evaluation substrate.
+func WithInterpretedEval() Option {
+	return func(st *settings) { st.interpreted = true }
 }
 
 // WithSSE forces vector opcodes on or off in the proposal distribution,

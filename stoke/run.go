@@ -59,10 +59,11 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		params.Ell = st.ell
 		params.Beta = st.synthBeta
 		s := &mcmc.Sampler{
-			Params: params,
-			Pools:  pools,
-			Cost:   cost.New(tests, k.Spec.LiveOut, cost.Improved, 0),
-			Rng:    rand.New(rand.NewSource(st.seed + 1000 + int64(i))),
+			Params:      params,
+			Pools:       pools,
+			Cost:        cost.New(tests, k.Spec.LiveOut, cost.Improved, 0),
+			Rng:         rand.New(rand.NewSource(st.seed + 1000 + int64(i))),
+			Interpreted: st.interpreted,
 		}
 		s.OnImprove = func(iter int64, c float64, p *x64.Program) {
 			e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
@@ -145,6 +146,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				Cost:         cost.New(tests, k.Spec.LiveOut, cost.Improved, 1),
 				Rng:          rand.New(rand.NewSource(chainSeed + int64(i))),
 				RestartAfter: st.restartAfter,
+				Interpreted:  st.interpreted,
 			}
 			s.OnImprove = func(iter int64, c float64, p *x64.Program) {
 				e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
