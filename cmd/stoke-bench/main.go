@@ -5,6 +5,8 @@
 //	stoke-bench                 # every figure, quick profile
 //	stoke-bench -fig 10         # one figure
 //	stoke-bench -profile full   # larger search budgets
+//	stoke-bench -eval-baseline BENCH_eval.json     # evaluation throughput A/B
+//	stoke-bench -search-baseline BENCH_search.json # tempering vs independent A/B
 //
 // Output is plain text, one section per figure, written to stdout.
 package main
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -26,6 +29,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		evalOut  = flag.String("eval-baseline", "", "write the evaluation-throughput baseline JSON to this path and exit")
 		evalProp = flag.Int64("eval-proposals", 300000, "proposal budget per eval-baseline configuration")
+
+		searchOut     = flag.String("search-baseline", "", "write the search-coordination baseline JSON (tempering vs independent chains) to this path and exit")
+		searchKernels = flag.String("search-kernels", strings.Join(experiments.DefaultSearchKernels, ","), "comma-separated kernels for -search-baseline")
+		searchSeeds   = flag.Int("search-seeds", 5, "seeds per search-baseline configuration")
+		searchChains  = flag.Int("search-chains", 4, "synthesis chains per search-baseline run")
+		searchProp    = flag.Int64("search-proposals", 150000, "per-chain proposal budget per search-baseline run")
+		searchEll     = flag.Int("search-ell", 20, "sequence length for search-baseline runs")
 	)
 	flag.Parse()
 
@@ -49,6 +59,26 @@ func main() {
 		for k, v := range base.Speedups {
 			fmt.Printf("speedup %-12s %.2fx\n", k, v)
 		}
+		return
+	}
+
+	// The search-coordination baseline A/Bs the cross-chain coordinator
+	// (replica exchange + shared rejection profile) against the paper's
+	// independent chains on synthesis hit-rate and time-to-zero-cost,
+	// written as machine-readable JSON (BENCH_search.json).
+	if *searchOut != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
+		names := strings.Split(*searchKernels, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		base, err := experiments.WriteSearchBaseline(ctx, *searchOut, names,
+			*searchSeeds, *searchChains, *searchProp, *searchEll)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatSearchBaseline(base))
 		return
 	}
 

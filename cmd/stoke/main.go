@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		profile  = flag.String("profile", "quick", "search budget profile (quick or full)")
 		progress = flag.Bool("progress", false, "stream search progress events to stderr")
+		indep    = flag.Bool("independent", false, "disable cross-chain coordination (replica exchange, shared pruning, warm-started testcase profiles)")
 		target   = flag.String("target", "", "assembly file to optimize instead of a benchmark")
 		inRegs   = flag.String("in", "", "comma-separated 64-bit input registers for -target")
 		outRegs  = flag.String("out", "rax", "comma-separated 64-bit output registers for -target")
@@ -63,6 +64,9 @@ func main() {
 	opts := []stoke.Option{
 		stoke.WithProfile(prof),
 		stoke.WithSeed(*seed),
+	}
+	if *indep {
+		opts = append(opts, stoke.WithTempering(false), stoke.WithSharedProfile(false))
 	}
 	if *progress {
 		opts = append(opts, stoke.WithObserver(func(ev stoke.Event) {
@@ -127,6 +131,7 @@ func main() {
 		float64(rep.Stats.Proposals)/(rep.SynthTime.Seconds()+rep.OptTime.Seconds()+1e-9))
 	fmt.Printf("validation:  %v (%d refinement testcases, %.2fs)\n",
 		rep.Verdict, rep.Refinements, rep.VerifyTime.Seconds())
+	fmt.Printf("coordinator: %d replica exchanges, %d pruned chains\n", rep.Swaps, rep.Prunes)
 	fmt.Printf("\n--- rewrite ---\n%s", rep.Rewrite)
 }
 

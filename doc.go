@@ -37,4 +37,27 @@
 // and the BENCH_eval.json baseline emitted by cmd/stoke-bench
 // -eval-baseline track the speedup (≥3x proposals/sec at the paper's ℓ=50
 // profile on this module's hardware baseline).
+//
+// # Search coordination
+//
+// The paper runs its per-kernel MCMC chains independently (§5.3); this
+// module coordinates them. internal/search drives each phase's chains in
+// cadenced segments with a barrier between rounds, and at every barrier
+// performs (a) replica exchange over a mostly-cold β ladder (the hot tail
+// explores, cold rungs exploit, adjacent replicas swap programs under the
+// Metropolis swap criterion on a seeded schedule), (b) global
+// best-so-far sharing — every chain's best correct program feeds a
+// bounded pool that the final 20%-window re-ranking draws from, and
+// stagnant chains whose own best is outside that window reseed from the
+// pool head — and (c) validator-in-the-loop refinement: the ensemble's
+// best candidate is proven or refuted mid-search, and a genuine
+// counterexample broadcasts to every live chain's testcase set, not just
+// the finder's. internal/cost.SharedProfile completes the picture: the
+// early-termination counts of every chain aggregate into one atomic
+// profile that warm-starts each new chain's adaptive testcase order.
+// Because every coordination decision happens at a barrier from seeded
+// state, fixed-seed runs stay bit-for-bit reproducible regardless of
+// worker-pool scheduling. cmd/stoke-bench -search-baseline emits
+// BENCH_search.json, A/Bing tempering against independent chains on
+// synthesis hit-rate and time-to-zero-cost over paper-suite kernels.
 package repro

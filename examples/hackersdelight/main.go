@@ -58,7 +58,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-6s %8s %8s %8s %10s\n", "kernel", "gcc-O3", "icc-O3", "STOKE", "validator")
+	fmt.Printf("%-6s %8s %8s %8s %10s %7s %7s\n",
+		"kernel", "gcc-O3", "icc-O3", "STOKE", "validator", "swaps", "prunes")
 	for i, bench := range benches {
 		report := reports[i]
 		base := pipeline.Cycles(bench.Target)
@@ -66,12 +67,15 @@ func main() {
 		if bench.Star {
 			star = "*"
 		}
-		fmt.Printf("%s%-5s %8.2f %8.2f %8.2f %10v\n",
+		fmt.Printf("%s%-5s %8.2f %8.2f %8.2f %10v %7d %7d\n",
 			star, bench.Name,
 			base/pipeline.Cycles(bench.GccO3),
 			base/pipeline.Cycles(bench.IccO3),
 			report.Speedup(),
-			report.Verdict)
+			report.Verdict,
+			report.Swaps, report.Prunes)
 	}
-	fmt.Println("\n(* = the paper's STOKE found an algorithmically distinct rewrite)")
+	fmt.Println("\n(* = the paper's STOKE found an algorithmically distinct rewrite;")
+	fmt.Println(" swaps/prunes = cross-chain coordinator activity: replica exchanges on the")
+	fmt.Println(" β ladder and stagnant chains reseeded from each kernel's global best)")
 }

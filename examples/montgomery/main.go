@@ -27,6 +27,8 @@ import (
 func main() {
 	proposals := flag.Int64("proposals", 300000, "optimization proposals per chain")
 	timeout := flag.Duration("timeout", 10*time.Minute, "wall-clock cap; expiry returns a partial result")
+	independent := flag.Bool("independent", false, "disable the cross-chain coordinator (no replica exchange or shared pruning)")
+	progress := flag.Bool("progress", false, "stream coordination events (swaps, prunes, refinements)")
 	flag.Parse()
 
 	bench, err := kernels.ByName("mont")
@@ -45,14 +47,26 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	report, err := stoke.Optimize(ctx, bench.Kernel,
+	opts := []stoke.Option{
 		stoke.WithSeed(7),
 		// Synthesis rarely lands a 55-instruction kernel at laptop scale;
 		// run a short phase and rely on optimization (§4.7: "even when
 		// synthesis fails, optimization is still possible").
 		stoke.WithChains(2, 4),
 		stoke.WithBudgets(50000, *proposals),
-		stoke.WithEll(30))
+		stoke.WithEll(30),
+		stoke.WithTempering(!*independent),
+		stoke.WithSharedProfile(!*independent),
+	}
+	if *progress {
+		opts = append(opts, stoke.WithObserver(func(ev stoke.Event) {
+			switch ev.Kind {
+			case stoke.EventSwap, stoke.EventPrune, stoke.EventRefinement:
+				fmt.Println(ev)
+			}
+		}))
+	}
+	report, err := stoke.Optimize(ctx, bench.Kernel, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +77,8 @@ func main() {
 	}
 	fmt.Printf("our search:      %2d instructions, %5.1f cycles, %.2fx over the -O0 target%s\n",
 		report.Rewrite.InstCount(), pipeline.Cycles(report.Rewrite), report.Speedup(), partial)
-	fmt.Printf("validator:       %v (%d refinement testcases)\n\n", report.Verdict, report.Refinements)
+	fmt.Printf("validator:       %v (%d refinement testcases)\n", report.Verdict, report.Refinements)
+	fmt.Printf("coordination:    %d replica exchanges, %d pruned chains\n\n", report.Swaps, report.Prunes)
 	fmt.Printf("--- discovered rewrite ---\n%s\n", report.Rewrite)
 	fmt.Printf("--- paper's rewrite (Figure 1, right) ---\n%s", bench.PaperRewrite)
 }

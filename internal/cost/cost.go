@@ -35,12 +35,75 @@ package cost
 import (
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/emu"
 	"repro/internal/perf"
 	"repro/internal/testgen"
 	"repro/internal/x64"
 )
+
+// SharedProfile aggregates per-testcase early-termination counts across
+// every chain of one kernel, so a freshly created Fn can warm-start its
+// adaptive testcase order from what sibling chains already learned instead
+// of rediscovering the discriminating testcases from scratch.
+//
+// Counts are recorded with atomic increments, so concurrently running
+// chains may Note freely. Order and Grow are not synchronised against
+// Note: the search coordinator calls them only at barriers (chain creation
+// and testcase broadcast), when no chain of the kernel is mid-segment —
+// which also makes the warm-started orders deterministic for a fixed seed,
+// because every count read happens at a schedule point rather than at a
+// thread-timing-dependent one.
+type SharedProfile struct {
+	counts []atomic.Int64
+}
+
+// NewSharedProfile sizes a profile for n testcases.
+func NewSharedProfile(n int) *SharedProfile {
+	return &SharedProfile{counts: make([]atomic.Int64, n)}
+}
+
+// Note records that testcase i pushed an evaluation over its
+// early-termination bound.
+func (p *SharedProfile) Note(i int) {
+	if p != nil && i < len(p.counts) {
+		p.counts[i].Add(1)
+	}
+}
+
+// Grow extends the profile to n testcases (counterexample broadcast adds
+// testcases mid-search). Must not race with Note; see the type comment.
+func (p *SharedProfile) Grow(n int) {
+	if p == nil || n <= len(p.counts) {
+		return
+	}
+	counts := make([]atomic.Int64, n)
+	for i := range p.counts {
+		counts[i].Store(p.counts[i].Load())
+	}
+	p.counts = counts
+}
+
+// Order returns testcase indices 0..n-1 sorted by descending count
+// (stable, so untried testcases keep their natural order). Indices beyond
+// the profile's size count as zero.
+func (p *SharedProfile) Order(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	at := func(i int) int64 {
+		if i < len(p.counts) {
+			return p.counts[i].Load()
+		}
+		return 0
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return at(order[a]) > at(order[b])
+	})
+	return order
+}
 
 // Mode selects between the strict register/memory equality of Equations
 // 9-10 and the improved "right value, wrong place" metric of Equation 15
@@ -77,6 +140,13 @@ type Fn struct {
 	// PerfWeight scales the performance term: 0 during synthesis (§4.4),
 	// 1 during optimization.
 	PerfWeight float64
+
+	// Shared, when set, is the kernel-wide rejection profile: this Fn's
+	// early terminations feed it, and the initial testcase order is drawn
+	// from it instead of the natural order, warm-starting new chains with
+	// the discriminating testcases sibling chains already found. Set it
+	// before the first evaluation.
+	Shared *SharedProfile
 
 	m *emu.Machine
 
@@ -180,6 +250,7 @@ func (f *Fn) EvalCompiled(c *emu.Compiled, budget float64) Result {
 		res.TestsRun++
 		if res.Cost+res.EqCost > budget {
 			f.rejects[ti]++
+			f.Shared.Note(ti)
 			res.Cost += res.EqCost
 			res.Early = true
 			f.noteEval()
@@ -201,12 +272,31 @@ func (f *Fn) ensureCompiledState() {
 	for i := range f.ms {
 		f.ms[i] = emu.New()
 	}
-	f.order = make([]int, len(f.Tests))
-	for i := range f.order {
-		f.order[i] = i
+	if f.Shared != nil {
+		f.order = f.Shared.Order(len(f.Tests))
+	} else {
+		f.order = make([]int, len(f.Tests))
+		for i := range f.order {
+			f.order[i] = i
+		}
 	}
 	f.rejects = make([]int64, len(f.Tests))
 	f.evals = 0
+}
+
+// AddTest folds one refinement testcase into the set mid-search. The
+// compiled-path state is extended in place rather than rebuilt: the
+// learned order of the existing testcases is preserved, and the new
+// testcase evaluates first — a counterexample is by construction the most
+// discriminating testcase known.
+func (f *Fn) AddTest(tc testgen.Testcase) {
+	f.Tests = append(f.Tests, tc)
+	if f.ms == nil {
+		return // compiled state not built yet; sized on first evaluation
+	}
+	f.ms = append(f.ms, emu.New())
+	f.order = append([]int{len(f.Tests) - 1}, f.order...)
+	f.rejects = append(f.rejects, 0)
 }
 
 // noteEval counts one compiled evaluation and periodically re-sorts the

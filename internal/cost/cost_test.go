@@ -305,3 +305,103 @@ func TestAdaptiveOrderFrontloadsDiscriminatingTests(t *testing.T) {
 		t.Fatalf("reordered evaluation broke a correct rewrite: %+v", res)
 	}
 }
+
+// sharedFixture builds the 32-testcase set of the adaptive-order test:
+// only testcase 31 distinguishes the wrong rewrite "movq 5, rax".
+func sharedFixture() ([]testgen.Testcase, testgen.LiveSet) {
+	live := testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}}
+	var tests []testgen.Testcase
+	for i := 0; i < 32; i++ {
+		in := &emu.Snapshot{FlagsDef: x64.AllFlags, RegDef: 0xffff}
+		v := uint64(5)
+		if i == 31 {
+			v = ^uint64(0)
+		}
+		in.Regs[x64.RDI] = v
+		tests = append(tests, testgen.Testcase{In: in, WantGPR: []uint64{v}})
+	}
+	return tests, live
+}
+
+// TestSharedProfileWarmStartsSiblings: a chain that learned which testcase
+// discriminates feeds the shared profile, and a freshly created sibling Fn
+// starts with that testcase first instead of re-learning the order.
+func TestSharedProfileWarmStartsSiblings(t *testing.T) {
+	tests, live := sharedFixture()
+	prof := NewSharedProfile(len(tests))
+	wrong := x64.MustParse("movq 5, rax").PadTo(8)
+
+	teacher := New(tests, live, Strict, 0)
+	teacher.Shared = prof
+	c := teacher.Compile(wrong)
+	for i := 0; i < 2*reorderEvery; i++ {
+		teacher.EvalCompiled(c, 1)
+	}
+
+	// A cold sibling without the profile walks all 32 testcases...
+	cold := New(tests, live, Strict, 0)
+	if res := cold.EvalCompiled(cold.Compile(wrong), 1); res.TestsRun != 32 {
+		t.Fatalf("cold chain expected full scan, got %+v", res)
+	}
+	// ...while a profile-warmed sibling rejects after one.
+	warm := New(tests, live, Strict, 0)
+	warm.Shared = prof
+	if res := warm.EvalCompiled(warm.Compile(wrong), 1); res.TestsRun != 1 {
+		t.Fatalf("warm-started chain expected 1-test rejection, got %+v", res)
+	}
+	// The warm order is still a permutation and still scores a correct
+	// rewrite at zero.
+	right := x64.MustParse("movq rdi, rax").PadTo(8)
+	if res := warm.EvalCompiled(warm.Compile(right), MaxBudget); res.Cost != 0 {
+		t.Fatalf("warm order broke a correct rewrite: %+v", res)
+	}
+}
+
+// TestSharedProfileOrderAndGrow pins Order determinism (stable ties in
+// index order) and Grow preserving counts.
+func TestSharedProfileOrderAndGrow(t *testing.T) {
+	p := NewSharedProfile(4)
+	p.Note(2)
+	p.Note(2)
+	p.Note(1)
+	if got := p.Order(4); got[0] != 2 || got[1] != 1 || got[2] != 0 || got[3] != 3 {
+		t.Fatalf("order = %v, want [2 1 0 3]", got)
+	}
+	p.Grow(6)
+	p.Note(5)
+	if got := p.Order(6); got[0] != 2 || got[1] != 1 || got[2] != 5 {
+		t.Fatalf("order after grow = %v, want counts preserved and index 5 noted", got)
+	}
+	// Order over more testcases than the profile has counted treats the
+	// excess as zero.
+	if got := p.Order(8); len(got) != 8 {
+		t.Fatalf("order length = %d, want 8", len(got))
+	}
+	// Notes beyond the profile's size are dropped, not panics.
+	p.Note(100)
+}
+
+// TestAddTestEvaluatesFirst: a counterexample folded in mid-search keeps
+// the learned order and evaluates first.
+func TestAddTestEvaluatesFirst(t *testing.T) {
+	tests, live := sharedFixture()
+	f := New(tests[:31:31], live, Strict, 0) // drop the discriminating testcase
+	wrong := x64.MustParse("movq 5, rax").PadTo(8)
+	c := f.Compile(wrong)
+	if res := f.EvalCompiled(c, MaxBudget); res.Cost != 0 {
+		t.Fatalf("under-constrained τ must accept the wrong rewrite, got %+v", res)
+	}
+	f.AddTest(tests[31]) // the counterexample arrives
+	res := f.EvalCompiled(c, 1)
+	if !res.Early || res.TestsRun != 1 {
+		t.Fatalf("folded counterexample must evaluate first: %+v", res)
+	}
+	if len(f.Tests) != 32 || len(f.order) != 32 || len(f.ms) != 32 {
+		t.Fatalf("compiled state not extended: %d tests, %d order, %d machines",
+			len(f.Tests), len(f.order), len(f.ms))
+	}
+	right := x64.MustParse("movq rdi, rax").PadTo(8)
+	if res := f.EvalCompiled(f.Compile(right), MaxBudget); res.Cost != 0 || res.TestsRun != 32 {
+		t.Fatalf("extended order broke a correct rewrite: %+v", res)
+	}
+}

@@ -419,6 +419,24 @@ func lowerExec(u *microOp, in *x64.Inst) {
 	case x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR:
 		lowerShift(u, in)
 
+	case x64.SHLD, x64.SHRD:
+		cnt, s, d := in.Opd[0], in.Opd[1], in.Opd[2]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg &&
+			s.Width == d.Width && cnt.Kind == x64.KindImm {
+			u.dst, u.src = d.Reg, s.Reg
+			u.setWidth(d.Width)
+			countMask := uint64(31)
+			if d.Width == 8 {
+				countMask = 63
+			}
+			u.imm = uint64(cnt.Imm) & countMask
+			if in.Op == x64.SHLD {
+				u.run = hShldI
+			} else {
+				u.run = hShrdI
+			}
+		}
+
 	case x64.XCHG:
 		a, b := in.Opd[0], in.Opd[1]
 		if a.Kind == x64.KindReg && b.Kind == x64.KindReg && a.Width == b.Width {
@@ -1580,6 +1598,52 @@ func hRorCL(m *Machine, u *microOp) {
 		return
 	}
 	rorCore(m, u, a, count)
+}
+
+// hShldI and hShrdI are the double shifts with a pre-masked immediate
+// count, mirroring execDoubleShift: both registers are read (in the
+// interpreter's source-then-destination order, for identical undef
+// accounting), a zero count rewrites the destination without touching
+// flags, and OF reports the destination's sign change.
+
+func hShldI(m *Machine, u *microOp) {
+	src := m.readReg(u.src, u.mask)
+	dst := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, dst)
+		return
+	}
+	bitsW := uint64(8 * uint(u.w))
+	r := (dst<<u.imm | src>>(bitsW-u.imm)) & u.mask
+	fl := szpBits(r, u.sbit)
+	if dst>>(bitsW-u.imm)&1 != 0 {
+		fl |= x64.CF
+	}
+	if (r&u.sbit != 0) != (dst&u.sbit != 0) {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
+}
+
+func hShrdI(m *Machine, u *microOp) {
+	src := m.readReg(u.src, u.mask)
+	dst := m.readReg(u.dst, u.mask)
+	if u.imm == 0 {
+		m.writeALU(u, dst)
+		return
+	}
+	bitsW := uint64(8 * uint(u.w))
+	r := (dst>>u.imm | src<<(bitsW-u.imm)) & u.mask
+	fl := szpBits(r, u.sbit)
+	if dst>>(u.imm-1)&1 != 0 {
+		fl |= x64.CF
+	}
+	if (r&u.sbit != 0) != (dst&u.sbit != 0) {
+		fl |= x64.OF
+	}
+	m.putFlags(x64.AllFlags, fl)
+	m.writeALU(u, r)
 }
 
 // --- bit ops, exchanges, stack -------------------------------------------

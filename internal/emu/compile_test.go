@@ -205,6 +205,42 @@ func TestCompiledIdioms(t *testing.T) {
 	}
 }
 
+// TestCompiledDoubleShifts pins the specialised SHLD/SHRD micro-ops
+// against the interpreter across every width, source/destination pairing
+// (including src == dst) and count — zero counts, in-range counts, and
+// counts at and beyond the operand width, where the hardware count mask
+// and the flag semantics are easiest to get wrong.
+func TestCompiledDoubleShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	regs := []x64.Reg{x64.RAX, x64.RCX, x64.RSI}
+	for _, op := range []x64.Opcode{x64.SHLD, x64.SHRD} {
+		for _, w := range []uint8{2, 4, 8} {
+			for count := int64(0); count <= 70; count += 3 {
+				for _, src := range regs {
+					for _, dst := range regs {
+						in := x64.MakeInst(op,
+							x64.Imm(count, w), x64.R(src, w), x64.R(dst, w))
+						if err := in.Validate(); err != nil {
+							t.Fatalf("%v: %v", in, err)
+						}
+						p := x64.NewProgram(3)
+						p.Insts[1] = in
+						c := emu.Compile(p)
+						mi, mc := emu.New(), emu.New()
+						for i := 0; i < 25; i++ {
+							snap := randomSnapshot(rng)
+							runBoth(t, mi, mc, p, c, snap, in.String())
+							if t.Failed() {
+								t.FailNow()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestCompiledPatchMatchesFreshCompile mutates single slots and checks a
 // patched compiled form against a from-scratch Compile of the same program.
 func TestCompiledPatchMatchesFreshCompile(t *testing.T) {

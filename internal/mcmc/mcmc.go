@@ -23,6 +23,8 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/testgen"
 	"repro/internal/x64"
 )
 
@@ -214,17 +216,172 @@ const ctxCheckInterval = 1024
 // the chain stops early and returns the best-so-far result (the caller
 // distinguishes a cut-short chain via its own ctx).
 func (s *Sampler) Run(ctx context.Context, start *x64.Program, proposals int64) Result {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	r := s.Begin(start, proposals)
+	r.Step(ctx, proposals)
+	return r.Result()
+}
+
+// A Run is one chain's resumable execution state: Begin initialises it,
+// Step advances it by a bounded number of proposals, and Result harvests
+// the outcome at any point. The search coordinator drives chains in
+// cadenced segments through this interface, applying replica exchange and
+// testcase broadcasts between segments; Sampler.Run is the
+// run-to-completion wrapper.
+//
+// A Run is single-owner like the Sampler itself: Step, Adopt and AddTests
+// must never run concurrently with each other. The coordinator guarantees
+// this by only touching runs at barriers, when no segment is in flight.
+type Run struct {
+	s       *Sampler
+	cur     *x64.Program
+	comp    *emu.Compiled // compiled path (nil when Interpreted)
+	scratch *x64.Program  // interpreted path (nil when compiled)
+	cs      *chainState
+	done    int64 // proposals consumed so far
+	budget  int64
+	stopped bool
+}
+
+// Begin pads the starting program to ℓ, scores it, and returns the chain
+// ready to Step. It performs one full-budget evaluation, so calling Begin
+// for a batch of chains from a single goroutine (as the coordinator does)
+// keeps any shared-profile reads at a deterministic point.
+func (s *Sampler) Begin(start *x64.Program, proposals int64) *Run {
 	if s.Params.Ell == 0 {
 		s.Params = PaperParams
 	}
 	cur := start.PadTo(s.Params.Ell)
+	r := &Run{s: s, cur: cur, budget: proposals}
 	if s.Interpreted {
-		return s.runInterpreted(ctx, cur, proposals)
+		r.cs = s.newChain(cur, s.Cost.Eval(cur, cost.MaxBudget))
+		r.scratch = cur.Clone()
+	} else {
+		r.comp = s.Cost.Compile(cur)
+		r.cs = s.newChain(cur, s.Cost.EvalCompiled(r.comp, cost.MaxBudget))
 	}
-	return s.runCompiled(ctx, cur, proposals)
+	if r.budget <= 0 || r.cs.bestCost == 0 {
+		r.stopped = true
+	}
+	return r
+}
+
+// Step advances the chain by up to n proposals, returning false once the
+// run is finished (budget exhausted or best cost zero). A context
+// cancellation returns early without finishing the run, so the caller can
+// still harvest Result; the proposal stream is a pure function of the
+// chain's RNG, unaffected by how the budget is sliced into Steps.
+func (r *Run) Step(ctx context.Context, n int64) bool {
+	if r.stopped {
+		return false
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	end := r.done + n
+	if end > r.budget {
+		end = r.budget
+	}
+	if r.s.Interpreted {
+		r.stepInterpreted(ctx, end)
+	} else {
+		r.stepCompiled(ctx, end)
+	}
+	if r.done >= r.budget || r.cs.bestCost == 0 {
+		r.stopped = true
+	}
+	return !r.stopped
+}
+
+// Finished reports whether the run has consumed its budget or reached a
+// zero-cost best (it will make no further progress).
+func (r *Run) Finished() bool { return r.stopped }
+
+// Proposals reports how many proposals the run has consumed.
+func (r *Run) Proposals() int64 { return r.done }
+
+// Result assembles the chain's outcome so far; the run may keep stepping
+// afterwards.
+func (r *Run) Result() Result { return r.cs.result() }
+
+// Current exposes the chain's current program. Callers must treat it as
+// read-only (clone before mutating or publishing).
+func (r *Run) Current() *x64.Program { return r.cur }
+
+// CurrentCost is the cost of the current program.
+func (r *Run) CurrentCost() float64 { return r.cs.curCost }
+
+// Beta reports the chain's inverse temperature.
+func (r *Run) Beta() float64 { return r.s.Params.Beta }
+
+// SetBeta moves the chain to a new rung of the temperature ladder; it
+// takes effect from the next proposal's acceptance bound.
+func (r *Run) SetBeta(b float64) { r.s.Params.Beta = b }
+
+// BestCorrect returns the chain's best testcase-correct program (nil when
+// none) and its cost. The program is shared state: clone before mutating.
+func (r *Run) BestCorrect() (*x64.Program, float64) {
+	return r.cs.bestCorrect, r.cs.bestCorrectCost
+}
+
+// eval scores the current program at full budget through the run's
+// evaluation path.
+func (r *Run) eval() cost.Result {
+	if r.comp != nil {
+		return r.s.Cost.EvalCompiled(r.comp, cost.MaxBudget)
+	}
+	return r.s.Cost.Eval(r.cur, cost.MaxBudget)
+}
+
+// Adopt replaces the current program with p (a replica-exchange swap or a
+// shared-best reseed), re-evaluating it and folding the result into the
+// best-so-far bookkeeping without counting a proposal or an accept. p must
+// fit the chain's ℓ slots; shorter programs are padded with UNUSED.
+func (r *Run) Adopt(p *x64.Program) {
+	n := copy(r.cur.Insts, p.Insts)
+	for i := n; i < len(r.cur.Insts); i++ {
+		r.cur.Insts[i] = x64.Unused()
+	}
+	if r.comp != nil {
+		r.comp.Recompile()
+	}
+	res := r.eval()
+	r.s.Stats.TestsEvaluated += int64(res.TestsRun)
+	r.cs.observe(r.cur, res)
+	if r.cs.bestCost == 0 {
+		r.stopped = true
+	}
+}
+
+// AddTests folds broadcast counterexample testcases into the chain's cost
+// function mid-run: the current program is re-scored against the refined τ
+// and a best-correct program the new testcases refute is dropped (its
+// clone lives on in the coordinator's pool, where the final re-ranking
+// filters it against the refined testcases anyway).
+func (r *Run) AddTests(tcs []testgen.Testcase) {
+	if len(tcs) == 0 {
+		return
+	}
+	for i := range tcs {
+		r.s.Cost.AddTest(tcs[i])
+	}
+	res := r.eval()
+	r.s.Stats.TestsEvaluated += int64(res.TestsRun)
+	r.cs.curCost = res.Cost
+	if r.cs.bestCorrect != nil {
+		bres := r.s.Cost.Eval(r.cs.bestCorrect, cost.MaxBudget)
+		r.s.Stats.TestsEvaluated += int64(bres.TestsRun)
+		if bres.EqCost != 0 {
+			r.cs.bestCorrect = nil
+			r.cs.bestCorrectCost = math.Inf(1)
+		} else {
+			r.cs.bestCorrectCost = bres.Cost
+		}
+	}
+	// The best-seen tracker ranks arbitrary (possibly incorrect) programs;
+	// re-score it so the improvement threshold reflects the refined τ.
+	bres := r.s.Cost.Eval(r.cs.best, cost.MaxBudget)
+	r.s.Stats.TestsEvaluated += int64(bres.TestsRun)
+	r.cs.bestCost = bres.Cost
 }
 
 // chainState is the per-chain bookkeeping shared by both evaluation paths:
@@ -313,6 +470,31 @@ func (cs *chainState) accept(i int64, cur *x64.Program, res cost.Result) {
 	}
 }
 
+// observe folds an out-of-band evaluation of the current program (a
+// replica swap or a shared-best reseed) into the bookkeeping: curCost and
+// the best trackers update, but no proposal or accept is counted and
+// OnImprove does not fire — the program was not discovered by this chain.
+func (cs *chainState) observe(cur *x64.Program, res cost.Result) {
+	cs.curCost = res.Cost
+	if res.EqCost == 0 {
+		cs.zero = true
+		if res.Cost < cs.bestCorrectCost {
+			cs.bestCorrectCost = res.Cost
+			if cs.bestCorrect == nil {
+				cs.bestCorrect = cur.Clone()
+			} else {
+				copy(cs.bestCorrect.Insts, cur.Insts)
+			}
+			cs.sinceImprove = 0
+		}
+	}
+	if res.Cost < cs.bestCost {
+		cs.bestCost = res.Cost
+		copy(cs.best.Insts, cur.Insts)
+		cs.sinceImprove = 0
+	}
+}
+
 // tick fires the periodic stats callback.
 func (cs *chainState) tick() {
 	s := cs.s
@@ -330,15 +512,16 @@ func (cs *chainState) result() Result {
 	}
 }
 
-// runCompiled is the chain loop over the decode-once pipeline: the current
-// program is mutated in place, the compiled form is patched at exactly the
-// slots a move touched, and rejection restores (and re-patches) the saved
-// instructions. Chain restarts rewrite the whole program and recompile.
-func (s *Sampler) runCompiled(ctx context.Context, cur *x64.Program, proposals int64) Result {
-	comp := s.Cost.Compile(cur)
-	cs := s.newChain(cur, s.Cost.EvalCompiled(comp, cost.MaxBudget))
+// stepCompiled is the chain loop over the decode-once pipeline: the
+// current program is mutated in place, the compiled form is patched at
+// exactly the slots a move touched, and rejection restores (and
+// re-patches) the saved instructions. Chain restarts rewrite the whole
+// program and recompile.
+func (r *Run) stepCompiled(ctx context.Context, end int64) {
+	s, cur, comp, cs := r.s, r.cur, r.comp, r.cs
 
-	for i := int64(0); i < proposals; i++ {
+	for ; r.done < end; r.done++ {
+		i := r.done
 		if i%ctxCheckInterval == 0 && ctx.Err() != nil {
 			break
 		}
@@ -380,20 +563,20 @@ func (s *Sampler) runCompiled(ctx context.Context, cur *x64.Program, proposals i
 
 		cs.tick()
 		if cs.bestCost == 0 {
+			r.done++
 			break // nothing left to minimise
 		}
 	}
-	return cs.result()
 }
 
-// runInterpreted is the seed chain loop: copy the whole ℓ-slot program per
-// proposal and re-interpret it from scratch. It is the baseline the
+// stepInterpreted is the seed chain loop: copy the whole ℓ-slot program
+// per proposal and re-interpret it from scratch. It is the baseline the
 // compiled pipeline is benchmarked and differentially tested against.
-func (s *Sampler) runInterpreted(ctx context.Context, cur *x64.Program, proposals int64) Result {
-	cs := s.newChain(cur, s.Cost.Eval(cur, cost.MaxBudget))
+func (r *Run) stepInterpreted(ctx context.Context, end int64) {
+	s, cur, scratch, cs := r.s, r.cur, r.scratch, r.cs
 
-	scratch := cur.Clone()
-	for i := int64(0); i < proposals; i++ {
+	for ; r.done < end; r.done++ {
+		i := r.done
 		if i%ctxCheckInterval == 0 && ctx.Err() != nil {
 			break
 		}
@@ -419,15 +602,16 @@ func (s *Sampler) runInterpreted(ctx context.Context, cur *x64.Program, proposal
 		if !res.Early && res.Cost <= bound {
 			// Accept: swap current and scratch.
 			cur, scratch = scratch, cur
+			r.cur, r.scratch = cur, scratch
 			cs.accept(i, cur, res)
 		}
 
 		cs.tick()
 		if cs.bestCost == 0 {
+			r.done++
 			break // nothing left to minimise
 		}
 	}
-	return cs.result()
 }
 
 // moveRec records which instruction slots one move touched and their prior

@@ -37,6 +37,20 @@
 // verdicts) to a callback, which is how a server or dashboard watches a
 // run live.
 //
+// A kernel's chains do not run blind to each other: a coordinator
+// (internal/search) checks them in at a fixed proposal cadence and, at
+// each barrier, exchanges programs between adjacent rungs of a β ladder
+// (parallel tempering — on by default, WithTempering(false) restores the
+// paper's independent chains, WithLadder customises the rungs), shares
+// every chain's best correct program through a global pool that re-ranking
+// draws from and that stagnant chains reseed from, warm-starts testcase
+// orders from a cross-chain rejection profile (WithSharedProfile), and
+// runs the validator mid-search so a counterexample found against one
+// chain's candidate refines every live chain's testcases. Coordination
+// surfaces as EventSwap and EventPrune events and the Report's Swaps and
+// Prunes counters, and every decision happens on a seeded schedule:
+// fixed-seed runs are bit-for-bit reproducible whatever the pool width.
+//
 // For one-shot use without managing an Engine, the package-level Optimize
 // creates a transient pool sized to the machine.
 package stoke

@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/mcmc"
 )
 
 // EngineConfig sizes an Engine.
@@ -117,34 +115,33 @@ func Optimize(ctx context.Context, k Kernel, opts ...Option) (*Report, error) {
 	return e.Optimize(ctx, k, opts...)
 }
 
-// runChains schedules n chain bodies onto the pool and waits for all of
-// them. Results are indexed by chain, so outcomes are independent of which
-// worker ran what. Bodies must honour ctx themselves (the samplers poll
-// it); runChains only refrains from scheduling not-yet-queued chains once
-// ctx is cancelled.
+// runBatch schedules the bodies onto the pool and waits for all of them —
+// one chain segment per body, between two of the search coordinator's
+// barriers. Bodies must honour ctx themselves (the samplers poll it);
+// runBatch only refrains from scheduling not-yet-queued bodies once ctx
+// is cancelled.
 //
-// The returned duration is the aggregate time workers spent executing
-// these chains — queueing behind other runs on the shared pool is
-// excluded, so a kernel's reported phase times stay meaningful however
-// many kernels the pool is juggling.
-func (e *Engine) runChains(ctx context.Context, n int, body func(i int) mcmc.Result) ([]mcmc.Result, time.Duration) {
-	results := make([]mcmc.Result, n)
+// The returned duration is the aggregate time workers spent executing the
+// batch — queueing behind other runs on the shared pool is excluded, so a
+// kernel's reported phase times stay meaningful however many kernels the
+// pool is juggling.
+func (e *Engine) runBatch(ctx context.Context, bodies []func()) time.Duration {
 	var busy atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for _, body := range bodies {
 		if ctx.Err() != nil {
-			break // remaining chains would be cancelled on arrival anyway
+			break // remaining bodies would be cancelled on arrival anyway
 		}
-		i := i
+		body := body
 		wg.Add(1)
 		f := func() {
 			defer wg.Done()
 			start := time.Now()
-			results[i] = body(i)
+			body()
 			busy.Add(int64(time.Since(start)))
 		}
 		// Selecting on ctx keeps a cancelled run from blocking behind
-		// other runs' long-lived chains still occupying the workers.
+		// other runs' long-lived segments still occupying the workers.
 		select {
 		case e.tasks <- f:
 		case <-ctx.Done():
@@ -152,7 +149,7 @@ func (e *Engine) runChains(ctx context.Context, n int, body func(i int) mcmc.Res
 		}
 	}
 	wg.Wait()
-	return results, time.Duration(busy.Load())
+	return time.Duration(busy.Load())
 }
 
 // runTask executes f as one pool task and waits for it, so expensive

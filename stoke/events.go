@@ -19,10 +19,19 @@ const (
 	EventPhaseEnd
 	// EventChainImproved reports a chain's best cost dropping.
 	EventChainImproved
-	// EventRefinement reports a counterexample testcase folded into τ.
+	// EventRefinement reports a counterexample testcase folded into τ —
+	// at the end-of-round validation, or mid-search, where the coordinator
+	// broadcasts it to every live chain of the kernel.
 	EventRefinement
 	// EventVerdict reports one validator query's outcome.
 	EventVerdict
+	// EventSwap reports an accepted replica exchange: the programs of
+	// chains Chain and Partner (adjacent rungs of the β ladder) traded
+	// places.
+	EventSwap
+	// EventPrune reports a stagnant chain abandoning its own hopeless
+	// best and reseeding from the kernel's global best-so-far program.
+	EventPrune
 )
 
 func (k EventKind) String() string {
@@ -37,6 +46,10 @@ func (k EventKind) String() string {
 		return "refinement"
 	case EventVerdict:
 		return "verdict"
+	case EventSwap:
+		return "swap"
+	case EventPrune:
+		return "prune"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -56,14 +69,19 @@ type Event struct {
 	Round int
 
 	// Chain identifies the reporting chain within its phase
-	// (EventChainImproved).
+	// (EventChainImproved, EventSwap, EventPrune).
 	Chain int
+
+	// Partner is the other replica of an accepted exchange (EventSwap).
+	Partner int
 
 	// Proposal is the chain-local proposal index at which the improvement
 	// occurred (EventChainImproved).
 	Proposal int64
 
-	// Cost is the chain's new best cost (EventChainImproved).
+	// Cost is the chain's new best cost (EventChainImproved), the colder
+	// replica's pre-swap cost (EventSwap), or the adopted global best
+	// cost (EventPrune).
 	Cost float64
 
 	// Tests is the testcase count after refinement (EventRefinement).
@@ -90,6 +108,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] refinement: counterexample folded in, %d testcases", e.Kernel, e.Tests)
 	case EventVerdict:
 		return fmt.Sprintf("[%s] validator: %v", e.Kernel, e.Verdict)
+	case EventSwap:
+		return fmt.Sprintf("[%s] %s: replicas %d and %d exchanged programs (cost %.1f)",
+			e.Kernel, e.Phase, e.Chain, e.Partner, e.Cost)
+	case EventPrune:
+		return fmt.Sprintf("[%s] %s chain %d: pruned to the global best (cost %.1f)",
+			e.Kernel, e.Phase, e.Chain, e.Cost)
 	}
 	return fmt.Sprintf("[%s] %v", e.Kernel, e.Kind)
 }

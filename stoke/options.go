@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/search"
 	"repro/internal/verify"
 )
 
@@ -44,6 +45,9 @@ type settings struct {
 	observer       func(Event)
 	sse            *bool
 	interpreted    bool
+	tempering      bool
+	ladder         []float64
+	sharedProfile  bool
 
 	// emitMu serializes this run's observer callbacks. It is per-resolve
 	// (shared by OptimizeAll's per-kernel copies, distinct across runs),
@@ -67,6 +71,8 @@ func defaultSettings() settings {
 		restartAfter:   DefaultRestartAfter,
 		maxRefinements: DefaultMaxRefinements,
 		verify:         verify.DefaultConfig,
+		tempering:      true,
+		sharedProfile:  true,
 	}
 }
 
@@ -167,6 +173,63 @@ func WithMaxRefinements(n int) Option {
 // size cap, exact multiplication encoding).
 func WithVerify(cfg verify.Config) Option {
 	return func(st *settings) { st.verify = cfg }
+}
+
+// WithTempering enables or disables replica exchange (parallel
+// tempering): a phase's chains occupy a mostly-cold β ladder — the
+// leading replicas at the phase temperature, a hot tail (one replica per
+// four) down to half of it — and adjacent replicas exchange their current
+// programs under the Metropolis swap criterion at a fixed proposal
+// cadence, so the hot explorers feed whatever basins they find into the
+// cold exploiting rungs. Enabled by default; disabling it reverts to
+// fully independent chains at the phase temperature (the paper's §5.3
+// discipline). The swap schedule is seeded: fixed-seed runs are
+// bit-for-bit reproducible either way.
+func WithTempering(enabled bool) Option {
+	return func(st *settings) { st.tempering = enabled }
+}
+
+// WithLadder replaces the default geometric β ladder with explicit
+// multipliers: replica i of a phase runs at the phase β times
+// mults[i%len(mults)]. Implies WithTempering(true).
+func WithLadder(mults ...float64) Option {
+	return func(st *settings) {
+		st.ladder = append([]float64(nil), mults...)
+		st.tempering = true
+	}
+}
+
+// WithSharedProfile enables or disables the kernel-wide testcase
+// rejection profile: every chain's early terminations feed one atomic
+// counter set, and new chains (including every refinement round's) warm
+// start their adaptive testcase order from what sibling chains already
+// learned instead of rediscovering the discriminating testcases. Enabled
+// by default; it never changes accept/reject decisions, only how early
+// bad proposals are rejected.
+func WithSharedProfile(enabled bool) Option {
+	return func(st *settings) { st.sharedProfile = enabled }
+}
+
+// betaLadder resolves a phase's per-replica inverse temperatures: the
+// explicit WithLadder multipliers when given, the default geometric
+// ladder under tempering, or a flat ladder (independent chains at the
+// phase temperature) otherwise.
+func (st *settings) betaLadder(base float64, n int) []float64 {
+	if st.tempering && len(st.ladder) > 0 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = base * st.ladder[i%len(st.ladder)]
+		}
+		return out
+	}
+	if st.tempering {
+		return search.Ladder(base, n, search.DefaultLadderSpan)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base
+	}
+	return out
 }
 
 // WithInterpretedEval makes every search chain evaluate candidates through

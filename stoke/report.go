@@ -37,8 +37,16 @@ type Report struct {
 	// wall-clock.
 	SynthTime, OptTime, VerifyTime time.Duration
 
-	// Refinements counts counterexample testcases folded back in.
+	// Refinements counts counterexample testcases folded back into τ
+	// across the whole run — mid-search broadcasts that refined every
+	// live chain as well as end-of-round validation folds — so it always
+	// equals the final Tests minus the generated testcase count.
 	Refinements int
+
+	// Swaps counts accepted replica exchanges across all phases and
+	// rounds; Prunes counts stagnant chains reseeded from the kernel's
+	// global best. Both are zero when tempering is disabled.
+	Swaps, Prunes int
 
 	Stats mcmc.Stats
 	Tests int

@@ -1,7 +1,10 @@
 // The system driver of Figure 9: it wires together testcase generation,
-// parallel synthesis and optimization chains, the 20% re-ranking window,
-// and the validator-in-the-loop testcase refinement, and returns the best
-// verified rewrite for a kernel.
+// coordinated synthesis and optimization chain groups (replica exchange,
+// shared best-cost pruning, warm-started testcase profiles), the 20%
+// re-ranking window, and the validator-in-the-loop testcase refinement —
+// both mid-search, where counterexamples broadcast to every live chain,
+// and between rounds — and returns the best verified rewrite for a
+// kernel.
 
 package stoke
 
@@ -15,10 +18,17 @@ import (
 	"repro/internal/emu"
 	"repro/internal/mcmc"
 	"repro/internal/pipeline"
+	"repro/internal/search"
 	"repro/internal/testgen"
 	"repro/internal/verify"
 	"repro/internal/x64"
 )
+
+// midValidateEvery is how many coordinator rounds pass between mid-search
+// validation attempts on the global best candidate. Validation runs at a
+// barrier (chains paused, deterministic schedule point), so the cadence
+// trades SAT time against how early counterexamples reach live chains.
+const midValidateEvery = 8
 
 // optimize executes the full STOKE pipeline on one kernel.
 func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, error) {
@@ -36,6 +46,23 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	rep := &Report{Kernel: k.Name, Target: k.Target, Tests: len(tests)}
 	pools := mcmc.PoolsFor(k.Target, sse)
 
+	// The kernel-wide rejection profile: every chain's early terminations
+	// feed it, and every later chain (optimization chains after synthesis,
+	// refinement rounds after round 0) warm-starts its testcase order from
+	// it instead of re-learning which testcases discriminate.
+	var prof *cost.SharedProfile
+	if st.sharedProfile {
+		prof = cost.NewSharedProfile(len(tests))
+	}
+	newCost := func(perfWeight float64) *cost.Fn {
+		// The three-index slice keeps each chain's AddTest append from
+		// sharing growth room with its siblings or with the run's own
+		// refinement appends.
+		f := cost.New(tests[:len(tests):len(tests)], k.Spec.LiveOut, cost.Improved, perfWeight)
+		f.Shared = prof
+		return f
+	}
+
 	// finish stamps the cycle-model fields on the way out; every return
 	// path below funnels through it.
 	finish := func(best *x64.Program, verdict verify.Verdict, partial bool) *Report {
@@ -51,17 +78,21 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		return rep
 	}
 
-	// --- Synthesis phase (§4.4): correctness only, random starts. ---
+	// --- Synthesis phase (§4.4): correctness only, random starts, the
+	// chain group coordinated over a β ladder. ---
 	e.emit(&st, Event{Kind: EventPhaseStart, Kernel: k.Name, Phase: "synthesis"})
 	start := time.Now()
-	synthResults, synthBusy := e.runChains(ctx, st.synthChains, func(i int) mcmc.Result {
+	synthRuns := make([]*mcmc.Run, st.synthChains)
+	synthLadder := st.betaLadder(st.synthBeta, st.synthChains)
+	for i := range synthRuns {
+		i := i
 		params := mcmc.PaperParams
 		params.Ell = st.ell
-		params.Beta = st.synthBeta
+		params.Beta = synthLadder[i]
 		s := &mcmc.Sampler{
 			Params:      params,
 			Pools:       pools,
-			Cost:        cost.New(tests, k.Spec.LiveOut, cost.Improved, 0),
+			Cost:        newCost(0),
 			Rng:         rand.New(rand.NewSource(st.seed + 1000 + int64(i))),
 			Interpreted: st.interpreted,
 		}
@@ -69,11 +100,25 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 			e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
 				Phase: "synthesis", Chain: i, Proposal: iter, Cost: c})
 		}
-		return s.Run(ctx, s.RandomProgram(), st.synthProposals)
-	})
+		synthRuns[i] = s.Begin(s.RandomProgram(), st.synthProposals)
+	}
+	synthCoord := search.New(search.Config{
+		Seed:     st.seed + 71,
+		Exchange: st.tempering,
+		Tests:    len(tests),
+		Profile:  prof,
+		OnSwap: func(i, j int, ci, cj float64) {
+			e.emit(&st, Event{Kind: EventSwap, Kernel: k.Name,
+				Phase: "synthesis", Chain: i, Partner: j, Cost: ci})
+		},
+	}, synthRuns)
 	// Aggregate chain-execution time, not wall-clock: on a shared pool a
 	// kernel's wall-clock includes every other kernel's queueing.
-	rep.SynthTime = synthBusy
+	synthCoord.Drive(ctx, func(bodies []func()) {
+		rep.SynthTime += e.runBatch(ctx, bodies)
+	})
+	rep.Swaps += synthCoord.Swaps()
+	synthResults := synthCoord.Results()
 	e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name, Phase: "synthesis",
 		Elapsed: time.Since(start)})
 
@@ -128,6 +173,25 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	// testcases, so stale candidates are safe to carry).
 	var allCandidates []*x64.Program
 
+	// validated caches concluded verdicts per candidate listing, shared by
+	// the mid-search validator and the end-of-round validation loop, so a
+	// candidate proven Equal at a barrier never pays for a second proof.
+	// NotEqual entries mark candidates whose genuine counterexample is
+	// already folded into τ (the refined testcases keep them out of the
+	// re-ranking); inconclusive refutations cache as Unknown.
+	validated := map[string]verify.Verdict{}
+	runVerify := func(cand *x64.Program) verify.Result {
+		var res verify.Result
+		var vdur time.Duration
+		e.runTask(ctx, func() {
+			vStart := time.Now()
+			res = verify.Equivalent(ctx, k.Target, cand, live, st.verify)
+			vdur = time.Since(vStart)
+		})
+		rep.VerifyTime += vdur
+		return res
+	}
+
 	for round := 0; ; round++ {
 		e.emit(&st, Event{Kind: EventPhaseStart, Kernel: k.Name,
 			Phase: "optimization", Round: round})
@@ -136,14 +200,55 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		if round > 0 {
 			budget /= 2 // refinement rounds re-optimize with a lighter budget
 		}
-		optResults, optBusy := e.runChains(ctx, st.optChains*len(starts), func(i int) mcmc.Result {
+
+		// midValidate is the coordinator's validator-in-the-loop hook: at
+		// a barrier cadence it proves or refutes the ensemble's best
+		// correct candidate, and a genuine counterexample comes back as a
+		// testcase the coordinator broadcasts to every live chain — not
+		// just the chain that found the candidate.
+		midValidate := func(cand *x64.Program) []testgen.Testcase {
+			if ctx.Err() != nil {
+				return nil
+			}
+			key := cand.String()
+			if _, seen := validated[key]; seen {
+				return nil
+			}
+			res := runVerify(cand)
+			if res.Verdict == verify.Unknown && ctx.Err() != nil {
+				return nil // truncated proof, not a verdict
+			}
+			e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
+				Round: round, Verdict: res.Verdict})
+			if res.Verdict != verify.NotEqual {
+				validated[key] = res.Verdict
+				return nil
+			}
+			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, cand)
+			if !genuine {
+				validated[key] = verify.Unknown
+				return nil
+			}
+			validated[key] = verify.NotEqual
+			tests = append(tests[:len(tests):len(tests)], tc)
+			rep.Refinements++
+			e.emit(&st, Event{Kind: EventRefinement, Kernel: k.Name,
+				Round: round, Tests: len(tests)})
+			return []testgen.Testcase{tc}
+		}
+
+		nChains := st.optChains * len(starts)
+		optRuns := make([]*mcmc.Run, nChains)
+		optLadder := st.betaLadder(st.optBeta, nChains)
+		for i := range optRuns {
+			i := i
 			params := mcmc.PaperParams
 			params.Ell = st.ell
-			params.Beta = st.optBeta
+			params.Beta = optLadder[i]
 			s := &mcmc.Sampler{
 				Params:       params,
 				Pools:        pools,
-				Cost:         cost.New(tests, k.Spec.LiveOut, cost.Improved, 1),
+				Cost:         newCost(1),
 				Rng:          rand.New(rand.NewSource(chainSeed + int64(i))),
 				RestartAfter: st.restartAfter,
 				Interpreted:  st.interpreted,
@@ -153,15 +258,50 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 					Phase: "optimization", Round: round, Chain: i,
 					Proposal: iter, Cost: c})
 			}
-			return s.Run(ctx, starts[i%len(starts)], budget)
+			optRuns[i] = s.Begin(starts[i%len(starts)], budget)
+		}
+		cfg := search.Config{
+			Seed:       chainSeed + 503,
+			Exchange:   st.tempering,
+			PruneAfter: st.restartAfter,
+			Tests:      len(tests),
+			Profile:    prof,
+			OnSwap: func(i, j int, ci, cj float64) {
+				e.emit(&st, Event{Kind: EventSwap, Kernel: k.Name,
+					Phase: "optimization", Round: round, Chain: i, Partner: j, Cost: ci})
+			},
+			OnPrune: func(i int, adopted float64) {
+				e.emit(&st, Event{Kind: EventPrune, Kernel: k.Name,
+					Phase: "optimization", Round: round, Chain: i, Cost: adopted})
+			},
+		}
+		if st.maxRefinements > 0 {
+			cfg.ValidateEvery = midValidateEvery
+			cfg.Validate = midValidate
+		}
+		optCoord := search.New(cfg, optRuns)
+		optCoord.Drive(ctx, func(bodies []func()) {
+			rep.OptTime += e.runBatch(ctx, bodies)
 		})
-		chainSeed += int64(st.optChains*len(starts)) + 7
-		rep.OptTime += optBusy
+		rep.Swaps += optCoord.Swaps()
+		rep.Prunes += optCoord.Prunes()
+		optResults := optCoord.Results()
+		poolCands := optCoord.Pool()
+		chainSeed += int64(nChains) + 7
 		e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name,
 			Phase: "optimization", Round: round, Elapsed: time.Since(start)})
 
-		var candidates []*x64.Program
+		// Candidates: the coordinator's global pool (chains' bests
+		// harvested at every barrier, so a line later abandoned by a swap
+		// or prune still competes) plus each chain's final best.
+		candidates := make([]*x64.Program, 0, len(poolCands))
 		bestCost := 1e30
+		for _, pc := range poolCands {
+			candidates = append(candidates, pc.Prog)
+			if pc.Cost < bestCost {
+				bestCost = pc.Cost
+			}
+		}
 		for _, r := range optResults {
 			rep.Stats.Proposals += r.Stats.Proposals
 			rep.Stats.Accepts += r.Stats.Accepts
@@ -208,16 +348,22 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				break
 			}
 
-			// Timed inside the task: like SynthTime/OptTime, VerifyTime
-			// excludes time queued behind other runs on the shared pool.
+			// A candidate the mid-search validator already concluded on
+			// skips the proof; NotEqual is never cached without its
+			// counterexample folded into τ, so such candidates cannot
+			// survive fastestSurvivor and reach here. Timed inside the
+			// task: like SynthTime/OptTime, VerifyTime excludes time
+			// queued behind other runs on the shared pool.
 			var res verify.Result
-			var vdur time.Duration
-			e.runTask(ctx, func() {
-				vStart := time.Now()
-				res = verify.Equivalent(ctx, k.Target, best, live, st.verify)
-				vdur = time.Since(vStart)
-			})
-			rep.VerifyTime += vdur
+			if v, seen := validated[best.String()]; seen && v != verify.NotEqual {
+				res = verify.Result{Verdict: v}
+			} else {
+				res = runVerify(best)
+				if res.Verdict != verify.NotEqual &&
+					!(res.Verdict == verify.Unknown && ctx.Err() != nil) {
+					validated[best.String()] = res.Verdict
+				}
+			}
 			if res.Verdict == verify.Unknown && ctx.Err() != nil {
 				verifyCancelled = true
 			}
@@ -232,10 +378,16 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				// Uninterpreted-function artefact: the counterexample does
 				// not concretely distinguish the programs. The proof
 				// attempt is inconclusive rather than refuting.
+				validated[best.String()] = verify.Unknown
 				verdict = verify.Unknown
 				break
 			}
-			tests = append(tests, tc)
+			validated[best.String()] = verify.NotEqual
+			tests = append(tests[:len(tests):len(tests)], tc)
+			// Keep the shared profile's counters covering the refined τ,
+			// so the next round's chains can learn (and warm-start on)
+			// the new testcase's discriminating power.
+			prof.Grow(len(tests))
 			rep.Refinements++
 			e.emit(&st, Event{Kind: EventRefinement, Kernel: k.Name,
 				Round: round, Tests: len(tests)})
