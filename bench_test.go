@@ -244,6 +244,47 @@ func BenchmarkEvalThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalThroughputSSE is the vector-kernel companion of
+// BenchmarkEvalThroughput: the saxpy kernel with SSE opcodes in the
+// proposal distribution, so the chain's candidates run the packed
+// micro-ops (movd/shufps/movups/pmulld/paddd) the DIV/IDIV + SSE lowering
+// added to the compiled pipeline. Tracked as the saxpy row of
+// BENCH_eval.json.
+func BenchmarkEvalThroughputSSE(b *testing.B) {
+	bench, err := kernels.ByName("saxpy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(8)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name        string
+		interpreted bool
+	}{{"interpreted", true}, {"compiled", false}} {
+		b.Run("ell=50/"+mode.name, func(b *testing.B) {
+			params := mcmc.PaperParams
+			params.Ell = 50
+			params.Beta = 1.0
+			s := &mcmc.Sampler{
+				Params:      params,
+				Pools:       mcmc.PoolsFor(bench.Target, true),
+				Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
+				Rng:         rand.New(rand.NewSource(9)),
+				Interpreted: mode.interpreted,
+			}
+			b.ResetTimer()
+			res := s.Run(context.Background(), bench.Target, int64(b.N))
+			b.StopTimer()
+			if res.Best == nil {
+				b.Fatal("chain returned no program")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "proposals/s")
+		})
+	}
+}
+
 // BenchmarkProposalThroughput measures raw MCMC proposals per second on the
 // Montgomery kernel (the paper's Figure 5 peak is ~50k/s on 2012 hardware).
 func BenchmarkProposalThroughput(b *testing.B) {

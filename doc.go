@@ -31,12 +31,24 @@
 // most-discriminating tests migrate to the front so bad proposals die after
 // one run. Reordering cannot change accept/reject decisions (per-testcase
 // costs are non-negative, so the prefix sums cross any bound iff the total
-// does). The original interpreter (Machine.Run, Fn.Eval) remains the
-// semantic reference behind stoke.WithInterpretedEval, pinned to the
-// compiled path by randomized differential tests; BenchmarkEvalThroughput
+// does). The lowering is total over the search workloads: the divide family
+// (with its #DE early-exit) and the fixed-point SSE subset compile to
+// specialised micro-ops too, so no instruction of the tracked scalar,
+// vector (saxpy) or Montgomery kernels reaches the generic interpreting
+// fallback (a dispatch-counter test pins this), and the sandbox's
+// definedness/validity planes are word-wide bitsets so the memory-bound
+// kernels pay one mask check per access instead of a byte loop. The
+// original interpreter (Machine.Run, Fn.Eval) remains the semantic
+// reference behind stoke.WithInterpretedEval, pinned to the compiled path
+// by randomized differential tests and by fuzz-grade differential targets
+// (FuzzCompiledVsInterpreted, FuzzPatchVsFreshCompile in internal/emu,
+// seeded from internal/testgen's corpus generator) that hold
+// compiled == interpreted and patched == fresh-compile over random
+// programs, machine states and patch sequences; BenchmarkEvalThroughput(SSE)
 // and the BENCH_eval.json baseline emitted by cmd/stoke-bench
 // -eval-baseline track the speedup (≥3x proposals/sec at the paper's ℓ=50
-// profile on this module's hardware baseline).
+// profile on this module's hardware baseline, ~2x on the vector and
+// Montgomery rows).
 //
 // # Search coordination
 //

@@ -157,6 +157,12 @@ type Fn struct {
 	order   []int
 	rejects []int64
 	evals   int
+
+	// memGot/memOk are scratch for memCost: the candidate's live memory
+	// bytes, resolved once per testcase so the Improved metric's rival
+	// scan is O(n) byte lookups instead of O(n²).
+	memGot []byte
+	memOk  []bool
 }
 
 // reorderEvery is how many compiled evaluations pass between re-sorts of
@@ -410,17 +416,27 @@ func (f *Fn) xmmCost(m *emu.Machine, want [2]uint64, xr x64.Reg) float64 {
 	return best
 }
 
-// memCost scores the live memory outputs of one testcase.
+// memCost scores the live memory outputs of one testcase. Every live byte
+// is resolved through the machine once, so the Improved metric's rival scan
+// works over the cached bytes instead of re-walking the segment tables.
 func (f *Fn) memCost(m *emu.Machine, tc *testgen.Testcase) float64 {
-	if len(tc.WantMem) == 0 {
+	n := len(tc.WantMem)
+	if n == 0 {
 		return 0
 	}
+	if cap(f.memGot) < n {
+		f.memGot = make([]byte, n)
+		f.memOk = make([]bool, n)
+	}
+	got, okv := f.memGot[:n], f.memOk[:n]
+	for i, mc := range tc.WantMem {
+		got[i], _, okv[i] = m.MemByte(mc.Addr)
+	}
 	total := 0.0
-	for _, mc := range tc.WantMem {
-		got, _, ok := m.MemByte(mc.Addr)
+	for i, mc := range tc.WantMem {
 		var correct float64
-		if ok {
-			correct = float64(bits.OnesCount8(got ^ mc.Want))
+		if okv[i] {
+			correct = float64(bits.OnesCount8(got[i] ^ mc.Want))
 		} else {
 			correct = 8
 		}
@@ -431,15 +447,11 @@ func (f *Fn) memCost(m *emu.Machine, tc *testgen.Testcase) float64 {
 		// Improved analogue of Equation 15 for memory: accept the right
 		// byte at another live memory location, at a misplacement penalty.
 		best := correct
-		for _, other := range tc.WantMem {
-			if other.Addr == mc.Addr {
+		for j := range tc.WantMem {
+			if j == i || !okv[j] {
 				continue
 			}
-			g, _, ok := m.MemByte(other.Addr)
-			if !ok {
-				continue
-			}
-			d := float64(bits.OnesCount8(g^mc.Want)) + f.W.Misplace
+			d := float64(bits.OnesCount8(got[j]^mc.Want)) + f.W.Misplace
 			if d < best {
 				best = d
 			}

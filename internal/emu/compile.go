@@ -84,6 +84,29 @@ const (
 	mkDecW
 	mkNegW
 	mkNotW
+
+	// SSE hot-shape codes: the register-to-register packed-arithmetic,
+	// logical, shuffle and move forms the saxpy-class vector kernels are
+	// built from. The dispatch loop calls their handlers statically
+	// (skipping the indirect call); memory-source forms stay on the
+	// indirect handler path.
+	mkMovdRX // GPR→XMM movd/movq (the broadcast idiom's first half)
+	mkMovXX  // XMM→XMM movaps/movups copy
+	mkMovupsLoad
+	mkMovupsStore
+	mkShufps
+	mkPshufd
+	mkPAddW
+	mkPSubW
+	mkPMullW
+	mkPAddD
+	mkPSubD
+	mkPMullD
+	mkPAddQ
+	mkPAnd
+	mkPOr
+	mkPXor
+	mkPXorZero
 )
 
 // kindW tags a lowered slot with a hot-dispatch code when the destination
@@ -416,6 +439,9 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			}
 		}
 
+	case x64.DIV, x64.IDIV:
+		lowerDiv(u, in)
+
 	case x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR:
 		lowerShift(u, in)
 
@@ -526,6 +552,14 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			u.cc = in.CC
 			u.run = hSetccR
 		}
+
+	case x64.MOVD, x64.MOVQX, x64.MOVUPS, x64.MOVAPS,
+		x64.SHUFPS, x64.PSHUFD,
+		x64.PADDW, x64.PSUBW, x64.PMULLW,
+		x64.PADDD, x64.PSUBD, x64.PMULLD, x64.PADDQ,
+		x64.PAND, x64.POR, x64.PXOR,
+		x64.PSLLD, x64.PSRLD, x64.PSLLQ, x64.PSRLQ:
+		lowerSSE(u, in)
 	}
 }
 
@@ -864,6 +898,40 @@ func (m *Machine) RunCompiled(c *Compiled) Outcome {
 		case mkNotW:
 			a := m.readReg(u.dst, u.mask)
 			m.setReg(u.dst, ^a&u.mask)
+		case mkMovdRX:
+			m.writeXmm(u.dst, [2]uint64{m.readReg(u.src, u.mask), 0})
+		case mkMovXX:
+			m.writeXmm(u.dst, m.readXmmOp(u.src))
+		case mkMovupsLoad:
+			m.writeXmm(u.dst, m.readXmmOrMem(u.in.Opd[0]))
+		case mkMovupsStore:
+			m.writeXmmMem(u.in.Opd[1], m.readXmmOp(u.src))
+		case mkShufps:
+			hShufps(m, u)
+		case mkPshufd:
+			hPshufd(m, u)
+		case mkPAddW:
+			m.packedRR(u, x64.PADDW)
+		case mkPSubW:
+			m.packedRR(u, x64.PSUBW)
+		case mkPMullW:
+			m.packedRR(u, x64.PMULLW)
+		case mkPAddD:
+			m.packedRR(u, x64.PADDD)
+		case mkPSubD:
+			m.packedRR(u, x64.PSUBD)
+		case mkPMullD:
+			m.packedRR(u, x64.PMULLD)
+		case mkPAddQ:
+			m.packedRR(u, x64.PADDQ)
+		case mkPAnd:
+			m.packedRR(u, x64.PAND)
+		case mkPOr:
+			m.packedRR(u, x64.POR)
+		case mkPXor:
+			m.packedRR(u, x64.PXOR)
+		case mkPXorZero:
+			m.writeXmm(u.dst, [2]uint64{0, 0})
 		default:
 			u.run(m, u)
 		}
@@ -931,7 +999,7 @@ func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 // single masked write (putFlags), which the interpreter's per-flag setFlag
 // calls are the reference for.
 
-func hGeneric(m *Machine, u *microOp) { m.exec(u.in) }
+func hGeneric(m *Machine, u *microOp) { m.generic++; m.exec(u.in) }
 
 func (m *Machine) readReg(r x64.Reg, mask uint64) uint64 {
 	if m.RegDef&(1<<r) == 0 {

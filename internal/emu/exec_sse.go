@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/x64"
@@ -40,12 +41,30 @@ func fromLanes16(l [8]uint16) [2]uint64 {
 	return v
 }
 
-// readXmmOrMem reads a 128-bit source operand.
+// readXmmOrMem reads a 128-bit source operand. The untraced memory path
+// reads straight out of the segment, like Machine.load.
 func (m *Machine) readXmmOrMem(o x64.Operand) [2]uint64 {
 	if o.Kind == x64.KindXmm {
 		return m.readXmm(o.Reg)
 	}
 	addr := m.effectiveAddr(o)
+	if m.trace == nil {
+		sg := m.findSeg(addr, 16)
+		if sg != nil {
+			off := addr - sg.base
+			if allSet(sg.valid, off, 16) {
+				if !allSet(sg.def, off, 16) {
+					m.undef++
+				}
+				return [2]uint64{
+					binary.LittleEndian.Uint64(sg.data[off:]),
+					binary.LittleEndian.Uint64(sg.data[off+8:]),
+				}
+			}
+		}
+		m.sigsegv++
+		return [2]uint64{}
+	}
 	var buf [16]byte
 	m.loadBytes(addr, 16, buf[:])
 	var v [2]uint64
@@ -58,6 +77,29 @@ func (m *Machine) readXmmOrMem(o x64.Operand) [2]uint64 {
 
 func (m *Machine) writeXmmMem(o x64.Operand, v [2]uint64) {
 	addr := m.effectiveAddr(o)
+	if m.trace == nil {
+		sg := m.findSeg(addr, 16)
+		if sg == nil {
+			m.sigsegv++
+			return
+		}
+		off := addr - sg.base
+		if !allSet(sg.valid, off, 16) {
+			m.sigsegv++
+			return
+		}
+		binary.LittleEndian.PutUint64(sg.data[off:], v[0])
+		binary.LittleEndian.PutUint64(sg.data[off+8:], v[1])
+		setBits(sg.def, off, 16)
+		if int(off) < sg.dirtyLo {
+			sg.dirtyLo = int(off)
+		}
+		if int(off)+16 > sg.dirtyHi {
+			sg.dirtyHi = int(off) + 16
+		}
+		m.memDirty = true
+		return
+	}
 	var buf [16]byte
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(v[0] >> (8 * i))

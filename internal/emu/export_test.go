@@ -1,0 +1,23 @@
+package emu
+
+import "reflect"
+
+// FallbackSlots returns the indices of executable slots that lowered to the
+// generic interpreting handler — the slots RunCompiled would serve through
+// the opcode switch. The dispatch-counter tests pin this to empty on the
+// tracked kernels.
+func (c *Compiled) FallbackSlots() []int {
+	generic := reflect.ValueOf(handlerFn(hGeneric)).Pointer()
+	var out []int
+	for i := range c.ops {
+		u := &c.ops[i]
+		if u.run != nil && reflect.ValueOf(u.run).Pointer() == generic {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// XmmRestores reports how many individual XMM register restores
+// LoadSnapshotCached has performed over the machine's lifetime.
+func (m *Machine) XmmRestores() int { return m.xmmRestores }

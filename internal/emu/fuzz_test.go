@@ -1,0 +1,114 @@
+package emu_test
+
+// Fuzz-grade differential tests: the native Go fuzzer drives byte strings
+// through testgen.DecodeFuzzCase (a total decoder weighted toward the
+// DIV/IDIV and SSE micro-ops) and demands that the compiled pipeline, the
+// interpreter, and fresh-versus-patched compiled forms agree on the full
+// observable machine state. The checked-in seed corpora under testdata/fuzz
+// cover divide faults, fixed-point SSE lane edges, UNUSED padding and
+// control-relink patch scripts; `go test` runs every seed as a unit test,
+// and CI adds a short -fuzztime exploration on top.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/testgen"
+)
+
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	for _, s := range testgen.SeedCorpus() {
+		f.Add(s.Data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := testgen.DecodeFuzzCase(data)
+		mi, mc := emu.New(), emu.New()
+		runBoth(t, mi, mc, fc.Prog, emu.Compile(fc.Prog), fc.Snap, "fuzz case")
+		if t.Failed() {
+			t.Fatalf("diverging program:\n%s", fc.Prog)
+		}
+	})
+}
+
+func FuzzPatchVsFreshCompile(f *testing.F) {
+	for _, s := range testgen.SeedCorpus() {
+		f.Add(s.Data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := testgen.DecodeFuzzCase(data)
+		prog := fc.Prog
+		c := emu.Compile(prog)
+		patched, fresh, mi := emu.New(), emu.New(), emu.New()
+		for step, e := range fc.Edits {
+			if e.Swap {
+				prog.Insts[e.Slot], prog.Insts[e.Other] = prog.Insts[e.Other], prog.Insts[e.Slot]
+				c.Patch(e.Slot)
+				if e.Other != e.Slot {
+					c.Patch(e.Other)
+				}
+			} else {
+				prog.Insts[e.Slot] = e.With
+				c.Patch(e.Slot)
+			}
+			recompiled := emu.Compile(prog)
+			// Latencies are integral, so the incrementally patched Equation
+			// 13 sum must match a fresh compile exactly, not approximately.
+			if c.StaticLatency() != recompiled.StaticLatency() {
+				t.Fatalf("edit %d: patched static latency %v, fresh %v\n%s",
+					step, c.StaticLatency(), recompiled.StaticLatency(), prog)
+			}
+			fresh.LoadSnapshot(fc.Snap)
+			of := fresh.RunCompiled(recompiled)
+			patched.LoadSnapshotCached(fc.Snap)
+			op := patched.RunCompiled(c)
+			if of != op {
+				t.Errorf("edit %d: outcomes diverged: fresh %+v patched %+v", step, of, op)
+			}
+			diffStates(t, fresh, patched, fc.Snap, fmt.Sprintf("edit %d patched vs fresh", step))
+			runBoth(t, mi, patched, prog, c, fc.Snap, fmt.Sprintf("edit %d vs interpreter", step))
+			if t.Failed() {
+				t.Fatalf("diverging program after edit %d:\n%s", step, prog)
+			}
+		}
+	})
+}
+
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false,
+	"rewrite the checked-in fuzz seed corpora under testdata/fuzz")
+
+// TestFuzzSeedCorpusFiles pins the checked-in seed corpora to
+// testgen.SeedCorpus, so the named edge cases (divide faults, SSE lane
+// boundaries, padding and relink patch scripts) are versioned files the
+// fuzzer always starts from. Regenerate with -update-fuzz-corpus after
+// extending the corpus for a new opcode.
+func TestFuzzSeedCorpusFiles(t *testing.T) {
+	for _, target := range []string{"FuzzCompiledVsInterpreted", "FuzzPatchVsFreshCompile"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if *updateFuzzCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range testgen.SeedCorpus() {
+			path := filepath.Join(dir, "seed-"+s.Name)
+			want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.Data)
+			if *updateFuzzCorpus {
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-fuzz-corpus)", err)
+			}
+			if string(got) != want {
+				t.Errorf("%s is stale (regenerate with -update-fuzz-corpus)", path)
+			}
+		}
+	}
+}

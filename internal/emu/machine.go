@@ -27,6 +27,7 @@
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -75,17 +76,69 @@ func (s *Snapshot) Clone() *Snapshot {
 	return &out
 }
 
-// segment is the machine's mutable view of one MemImage. dirtyLo/dirtyHi
-// bound the bytes stores have touched since the last snapshot load (empty
-// when dirtyHi <= dirtyLo), so a cached reload restores only that range;
-// valid is never mutated by execution and needs no restore at all.
+// segment is the machine's mutable view of one MemImage. Definedness and
+// sandbox validity are kept as bitsets (one bit per byte), so the per-access
+// checks of loadBytes/storeBytes are one or two word operations instead of
+// byte loops — the sandbox accounting was the hottest path of the
+// memory-bound kernels. dirtyLo/dirtyHi bound the bytes stores have touched
+// since the last snapshot load (empty when dirtyHi <= dirtyLo), so a cached
+// reload restores only that range; valid is never mutated by execution and
+// needs no restore at all. snapDef caches the snapshot's definedness bits so
+// the dirty-range restore is a word copy.
 type segment struct {
 	base    uint64
 	data    []byte
-	def     []bool
-	valid   []bool
+	def     []uint64
+	valid   []uint64
+	snapDef []uint64
 	dirtyLo int
 	dirtyHi int
+}
+
+// packedMem is the bitset form of one MemImage's definedness and validity
+// planes. Cached per snapshot: valid never mutates during execution, and
+// def serves as the pristine image dirty-range restores copy from.
+type packedMem struct {
+	def   []uint64
+	valid []uint64
+}
+
+// bitWords returns the bitset length for n bytes, padded by one word so
+// two-word extractions near the end never bounds-check out.
+func bitWords(n int) int { return n/64 + 2 }
+
+// packBools fills a bitset from a []bool (snapshot images keep the
+// friendly representation; the machine runs on bits).
+func packBools(dst []uint64, src []bool) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, ok := range src {
+		if ok {
+			dst[i/64] |= 1 << (i % 64)
+		}
+	}
+}
+
+// allSet reports whether bits [off, off+n) are all one (n <= 48).
+func allSet(bits []uint64, off uint64, n int) bool {
+	i, b := off/64, off%64
+	v := bits[i] >> b
+	if b+uint64(n) > 64 {
+		v |= bits[i+1] << (64 - b)
+	}
+	mask := uint64(1)<<n - 1
+	return v&mask == mask
+}
+
+// setBits sets bits [off, off+n) (n <= 48).
+func setBits(bits []uint64, off uint64, n int) {
+	i, b := off/64, off%64
+	mask := uint64(1)<<n - 1
+	bits[i] |= mask << b
+	if b+uint64(n) > 64 {
+		bits[i+1] |= mask >> (64 - b)
+	}
 }
 
 // Outcome summarises one execution.
@@ -123,22 +176,43 @@ type Machine struct {
 	// the addresses the target touches define the sandbox for rewrites.
 	trace *Trace
 
-	// lastSnap, memDirty and xmmDirty drive LoadSnapshotCached: when the
-	// machine is pinned to one testcase (the compiled evaluation pipeline
-	// runs one machine per testcase) and the last execution never stored to
-	// memory, reloading the same snapshot skips the segment copies
-	// entirely; if it never wrote an XMM register, the 256-byte XMM restore
-	// is skipped too.
+	// lastSnap and memDirty drive LoadSnapshotCached: when the machine is
+	// pinned to one testcase (the compiled evaluation pipeline runs one
+	// machine per testcase) and the last execution never stored to memory,
+	// reloading the same snapshot skips the segment copies entirely.
 	lastSnap *Snapshot
 	memDirty bool
-	xmmDirty bool
 
 	// regsWritten is the bitset of GPRs written since the last snapshot
 	// load; the cached reload restores exactly those instead of copying
 	// the whole register file. Every GPR mutation path (writeGPR, the
 	// compiled setReg, and the direct rsp updates of push/pop) records
-	// into it.
+	// into it. xmmWritten is the same bitset for the XMM file, so an SSE
+	// candidate that touches one vector register restores 16 bytes on
+	// reload, not 256.
 	regsWritten uint16
+	xmmWritten  uint16
+
+	// segCache is the index of the segment the last dereference hit.
+	segCache int
+
+	// packed caches the bitset form of each snapshot's Def/Valid planes,
+	// keyed by snapshot identity, so a full reload packs each image once
+	// per machine instead of once per load. Snapshot memory planes must
+	// be stable across loads on one machine (testcase snapshots are; the
+	// caller contract of LoadSnapshotCached already demands it).
+	packed map[*Snapshot][]packedMem
+
+	// xmmRestores counts individual XMM register restores performed by
+	// LoadSnapshotCached over the machine's lifetime — a white-box
+	// diagnostic for the dirty-tracking regression tests.
+	xmmRestores int
+
+	// generic counts compiled-slot executions that fell back to the
+	// interpreting handler (the opcode-switch path the decode-once
+	// pipeline exists to avoid). The dispatch-counter tests pin it to
+	// zero on the tracked kernels.
+	generic int
 }
 
 // Trace records the byte addresses dereferenced during instrumented runs.
@@ -175,24 +249,39 @@ func (m *Machine) LoadSnapshot(s *Snapshot) {
 	if len(m.segs) != len(s.Mem) {
 		m.segs = make([]segment, len(s.Mem))
 	}
+	if m.packed == nil {
+		m.packed = make(map[*Snapshot][]packedMem)
+	}
+	pm, ok := m.packed[s]
+	if !ok {
+		pm = make([]packedMem, len(s.Mem))
+		for i := range s.Mem {
+			im := &s.Mem[i]
+			w := bitWords(len(im.Data))
+			pm[i] = packedMem{def: make([]uint64, w), valid: make([]uint64, w)}
+			packBools(pm[i].def, im.Def)
+			packBools(pm[i].valid, im.Valid)
+		}
+		m.packed[s] = pm
+	}
 	for i := range s.Mem {
 		im := &s.Mem[i]
 		sg := &m.segs[i]
 		if sg.base != im.Base || len(sg.data) != len(im.Data) {
 			sg.base = im.Base
 			sg.data = make([]byte, len(im.Data))
-			sg.def = make([]bool, len(im.Def))
-			sg.valid = make([]bool, len(im.Valid))
+			sg.def = make([]uint64, bitWords(len(im.Data)))
 		}
 		copy(sg.data, im.Data)
-		copy(sg.def, im.Def)
-		copy(sg.valid, im.Valid)
+		sg.valid = pm[i].valid // shared: execution never mutates validity
+		sg.snapDef = pm[i].def
+		copy(sg.def, pm[i].def)
 		sg.dirtyLo, sg.dirtyHi = len(sg.data), 0
 	}
 	m.lastSnap = s
 	m.memDirty = false
-	m.xmmDirty = false
 	m.regsWritten = 0
+	m.xmmWritten = 0
 }
 
 // LoadSnapshotCached is LoadSnapshot for a machine pinned to one testcase:
@@ -214,7 +303,8 @@ func (m *Machine) LoadSnapshotCached(s *Snapshot) {
 			}
 			im := &s.Mem[i]
 			copy(sg.data[sg.dirtyLo:sg.dirtyHi], im.Data[sg.dirtyLo:sg.dirtyHi])
-			copy(sg.def[sg.dirtyLo:sg.dirtyHi], im.Def[sg.dirtyLo:sg.dirtyHi])
+			lo, hi := sg.dirtyLo/64, sg.dirtyHi/64+1
+			copy(sg.def[lo:hi], sg.snapDef[lo:hi])
 			sg.dirtyLo, sg.dirtyHi = len(sg.data), 0
 		}
 		m.memDirty = false
@@ -225,21 +315,33 @@ func (m *Machine) LoadSnapshotCached(s *Snapshot) {
 	}
 	m.regsWritten = 0
 	m.RegDef = s.RegDef
-	if m.xmmDirty {
-		m.Xmm = s.Xmm
-		m.XmmDef = s.XmmDef
-		m.xmmDirty = false
+	for w := m.xmmWritten; w != 0; w &= w - 1 {
+		r := bits.TrailingZeros16(w)
+		m.Xmm[r] = s.Xmm[r]
+		m.xmmRestores++
 	}
+	m.xmmWritten = 0
+	m.XmmDef = s.XmmDef
 	m.Flags = s.Flags
 	m.FlagsDef = s.FlagsDef
 	m.sigsegv, m.sigfpe, m.undef = 0, 0, 0
 }
 
-// findSeg returns the segment containing [addr, addr+n), or nil.
+// findSeg returns the segment containing [addr, addr+n), or nil. The last
+// hit is cached: -O0 code streams stack accesses, so consecutive
+// dereferences overwhelmingly land in one segment (the cache changes
+// nothing observable, only the scan).
 func (m *Machine) findSeg(addr uint64, n int) *segment {
+	if m.segCache < len(m.segs) {
+		sg := &m.segs[m.segCache]
+		if addr >= sg.base && addr-sg.base+uint64(n) <= uint64(len(sg.data)) {
+			return sg
+		}
+	}
 	for i := range m.segs {
 		sg := &m.segs[i]
 		if addr >= sg.base && addr-sg.base+uint64(n) <= uint64(len(sg.data)) {
+			m.segCache = i
 			return sg
 		}
 	}
@@ -264,23 +366,15 @@ func (m *Machine) loadBytes(addr uint64, n int, out []byte) {
 		return
 	}
 	off := addr - sg.base
-	for _, ok := range sg.valid[off : off+uint64(n)] {
-		if !ok {
-			m.sigsegv++
-			for i := 0; i < n; i++ {
-				out[i] = 0
-			}
-			return
+	if !allSet(sg.valid, off, n) {
+		m.sigsegv++
+		for i := 0; i < n; i++ {
+			out[i] = 0
 		}
-	}
-	sawUndef := false
-	for _, d := range sg.def[off : off+uint64(n)] {
-		if !d {
-			sawUndef = true
-		}
+		return
 	}
 	copy(out, sg.data[off:off+uint64(n)])
-	if sawUndef {
+	if !allSet(sg.def, off, n) {
 		m.undef++
 	}
 }
@@ -299,17 +393,12 @@ func (m *Machine) storeBytes(addr uint64, n int, in []byte) {
 		return
 	}
 	off := addr - sg.base
-	for _, ok := range sg.valid[off : off+uint64(n)] {
-		if !ok {
-			m.sigsegv++
-			return
-		}
+	if !allSet(sg.valid, off, n) {
+		m.sigsegv++
+		return
 	}
 	copy(sg.data[off:off+uint64(n)], in[:n])
-	def := sg.def[off : off+uint64(n)]
-	for i := range def {
-		def[i] = true
-	}
+	setBits(sg.def, off, n)
 	if int(off) < sg.dirtyLo {
 		sg.dirtyLo = int(off)
 	}
@@ -319,8 +408,35 @@ func (m *Machine) storeBytes(addr uint64, n int, in []byte) {
 	m.memDirty = true
 }
 
-// load reads an n-byte little-endian value (n <= 8).
+// load reads an n-byte little-endian value (n <= 8). The untraced path
+// reads straight out of the segment (no intermediate buffer, word-wide
+// sandbox checks); instrumented runs take the recording loadBytes path.
 func (m *Machine) load(addr uint64, n int) uint64 {
+	if m.trace == nil {
+		sg := m.findSeg(addr, n)
+		if sg == nil {
+			m.sigsegv++
+			return 0
+		}
+		off := addr - sg.base
+		if !allSet(sg.valid, off, n) {
+			m.sigsegv++
+			return 0
+		}
+		if !allSet(sg.def, off, n) {
+			m.undef++
+		}
+		switch n {
+		case 8:
+			return binary.LittleEndian.Uint64(sg.data[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(sg.data[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(sg.data[off:]))
+		default:
+			return uint64(sg.data[off])
+		}
+	}
 	var buf [8]byte
 	m.loadBytes(addr, n, buf[:n])
 	v := uint64(0)
@@ -330,8 +446,40 @@ func (m *Machine) load(addr uint64, n int) uint64 {
 	return v
 }
 
-// store writes an n-byte little-endian value (n <= 8).
+// store writes an n-byte little-endian value (n <= 8), with the same
+// direct untraced path as load.
 func (m *Machine) store(addr uint64, n int, v uint64) {
+	if m.trace == nil {
+		sg := m.findSeg(addr, n)
+		if sg == nil {
+			m.sigsegv++
+			return
+		}
+		off := addr - sg.base
+		if !allSet(sg.valid, off, n) {
+			m.sigsegv++
+			return
+		}
+		switch n {
+		case 8:
+			binary.LittleEndian.PutUint64(sg.data[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(sg.data[off:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(sg.data[off:], uint16(v))
+		default:
+			sg.data[off] = byte(v)
+		}
+		setBits(sg.def, off, n)
+		if int(off) < sg.dirtyLo {
+			sg.dirtyLo = int(off)
+		}
+		if int(off)+n > sg.dirtyHi {
+			sg.dirtyHi = int(off) + n
+		}
+		m.memDirty = true
+		return
+	}
 	var buf [8]byte
 	for i := 0; i < n; i++ {
 		buf[i] = byte(v >> (8 * i))
@@ -347,7 +495,7 @@ func (m *Machine) MemByte(addr uint64) (b byte, defined, ok bool) {
 		return 0, false, false
 	}
 	off := addr - sg.base
-	return sg.data[off], sg.def[off], true
+	return sg.data[off], sg.def[off/64]>>(off%64)&1 == 1, true
 }
 
 // RegValue returns the current value of a register viewed at width bytes.
@@ -462,8 +610,14 @@ func (m *Machine) readXmm(r x64.Reg) [2]uint64 {
 func (m *Machine) writeXmm(r x64.Reg, v [2]uint64) {
 	m.Xmm[r] = v
 	m.XmmDef |= 1 << r
-	m.xmmDirty = true
+	m.xmmWritten |= 1 << r
 }
+
+// GenericDispatches reports how many compiled-slot executions have fallen
+// back to the generic interpreting handler over the machine's lifetime.
+// Zero means every instruction the machine ran through RunCompiled was
+// served by a specialised micro-op.
+func (m *Machine) GenericDispatches() int { return m.generic }
 
 // readFlags checks definedness of the flags a condition inspects and
 // returns the current flag valuation.

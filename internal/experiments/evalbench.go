@@ -42,16 +42,25 @@ type EvalBaseline struct {
 }
 
 // evalConfigs are the measured profiles: the headline p01 ℓ=14/ℓ=50 pair
-// matching BenchmarkEvalThroughput, plus a longer register kernel and the
-// memory-heavy Montgomery kernel as secondary tracking points.
+// matching BenchmarkEvalThroughput, plus a longer register kernel, the
+// memory-heavy Montgomery kernel, and the SSE saxpy kernel as secondary
+// tracking points. The saxpy kernel is measured twice: a chain from the
+// scalar -O0 target (the synthesis-entry regime) and a chain from the
+// paper's Figure 14 SSE rewrite (fromRewrite), whose candidates execute the
+// packed micro-ops on every testcase — the row that tracks the DIV/IDIV +
+// SSE lowering of the compiled pipeline.
 var evalConfigs = []struct {
-	kernel string
-	ell    int
+	label       string // row name; defaults to the kernel name
+	kernel      string
+	ell         int
+	fromRewrite bool // start the chain from PaperRewrite instead of Target
 }{
-	{"p01", 14},
-	{"p01", 50},
-	{"p23", 50},
-	{"mont", 50},
+	{"", "p01", 14, false},
+	{"", "p01", 50, false},
+	{"", "p23", 50, false},
+	{"", "mont", 50, false},
+	{"", "saxpy", 50, false},
+	{"saxpy-sse", "saxpy", 50, true},
 }
 
 // MeasureEvalThroughput runs each baseline configuration for the given
@@ -69,6 +78,14 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 		if err != nil {
 			return base, err
 		}
+		label := cfg.label
+		if label == "" {
+			label = cfg.kernel
+		}
+		startProg := bench.Target
+		if cfg.fromRewrite {
+			startProg = bench.PaperRewrite
+		}
 		tests, err := testgen.Generate(bench.Target, bench.Spec, 32, rand.New(rand.NewSource(8)))
 		if err != nil {
 			return base, err
@@ -80,18 +97,18 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 			params.Beta = 1.0
 			s := &mcmc.Sampler{
 				Params:      params,
-				Pools:       mcmc.PoolsFor(bench.Target, false),
+				Pools:       mcmc.PoolsFor(bench.Target, bench.SSE),
 				Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
 				Rng:         rand.New(rand.NewSource(9)),
 				Interpreted: mi == 0,
 			}
 			start := time.Now()
-			s.Run(context.Background(), bench.Target, proposals)
+			s.Run(context.Background(), startProg, proposals)
 			dur := time.Since(start)
 			rate := float64(proposals) / dur.Seconds()
 			rates[mi] = rate
 			base.Runs = append(base.Runs, EvalRate{
-				Kernel:          cfg.kernel,
+				Kernel:          label,
 				Ell:             cfg.ell,
 				Mode:            mode,
 				Proposals:       proposals,
@@ -99,7 +116,7 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 				ProposalsPerSec: rate,
 			})
 		}
-		base.Speedups[fmt.Sprintf("%s/ell=%d", cfg.kernel, cfg.ell)] = rates[1] / rates[0]
+		base.Speedups[fmt.Sprintf("%s/ell=%d", label, cfg.ell)] = rates[1] / rates[0]
 	}
 	return base, nil
 }

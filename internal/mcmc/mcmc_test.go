@@ -216,3 +216,48 @@ func TestStatsCallbacks(t *testing.T) {
 		t.Error("OnImprove never fired")
 	}
 }
+
+// TestRunSetBetaAndProposals pins the coordination hooks of a resumable
+// Run: Proposals tracks the consumed budget across segments, and SetBeta
+// migrates the chain to a new temperature rung that governs acceptance
+// from the next proposal on (β=0 accepts everything; a very cold rung
+// accepts only improvements).
+func TestRunSetBetaAndProposals(t *testing.T) {
+	target := x64.MustParse("movq rdi, rax\naddq rsi, rax")
+	run := func(rebeta float64) (*Run, Result) {
+		s := newSampler(t, target, identitySpec(), cost.Improved, 1, 10, 91)
+		s.Params.Beta = 1000 // frozen: nothing but improvements accepted
+		r := s.Begin(target, 4000)
+		if !r.Step(context.Background(), 2000) {
+			t.Fatal("run finished before its budget")
+		}
+		if got := r.Proposals(); got != 2000 {
+			t.Fatalf("Proposals() = %d after a 2000-proposal segment", got)
+		}
+		if r.Beta() != 1000 {
+			t.Fatalf("Beta() = %v before migration", r.Beta())
+		}
+		r.SetBeta(rebeta)
+		if r.Beta() != rebeta {
+			t.Fatalf("Beta() = %v after SetBeta(%v)", r.Beta(), rebeta)
+		}
+		r.Step(context.Background(), 2000)
+		if got := r.Proposals(); got != 4000 {
+			t.Fatalf("Proposals() = %d after the full budget", got)
+		}
+		if !r.Finished() {
+			t.Fatal("run must report Finished at its budget")
+		}
+		return r, r.Result()
+	}
+
+	_, cold := run(1000) // stays frozen
+	_, hot := run(0)     // β=0 from the midpoint: every proposal accepted
+	if hot.Stats.Proposals != cold.Stats.Proposals {
+		t.Fatalf("budgets diverged: %d vs %d", hot.Stats.Proposals, cold.Stats.Proposals)
+	}
+	if hot.Stats.Accepts <= cold.Stats.Accepts {
+		t.Fatalf("SetBeta(0) did not take effect: %d accepts at β=0 vs %d frozen",
+			hot.Stats.Accepts, cold.Stats.Accepts)
+	}
+}

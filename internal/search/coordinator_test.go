@@ -225,6 +225,27 @@ func TestCancellationDrainsWithoutDeadlock(t *testing.T) {
 	}
 }
 
+// TestSingleChainGroup drives a one-chain group with exchange enabled: no
+// swap partner exists, so the coordinator must draw no swap coins that
+// matter, record zero swaps, and still harvest the chain's best into the
+// pool.
+func TestSingleChainGroup(t *testing.T) {
+	f := newFixture(t)
+	c := New(Config{Seed: 13, Exchange: true, Cadence: 512, Tests: len(f.tests)},
+		f.runs(1, 21, 8000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if c.Swaps() != 0 {
+		t.Fatalf("single chain recorded %d swaps", c.Swaps())
+	}
+	res := c.Results()
+	if len(res) != 1 || res[0].Best == nil {
+		t.Fatalf("single-chain results malformed: %+v", res)
+	}
+	if len(c.Pool()) == 0 {
+		t.Fatal("single-chain group harvested nothing into the pool")
+	}
+}
+
 // TestLadder pins the mostly-cold ladder shape: leading rungs at base, a
 // hot tail of one replica per four descending to base/span.
 func TestLadder(t *testing.T) {

@@ -1,0 +1,357 @@
+package testgen
+
+// Fuzz-case decoding for the emulator's differential fuzz targets
+// (FuzzCompiledVsInterpreted, FuzzPatchVsFreshCompile in internal/emu).
+//
+// Any byte string decodes — deterministically and totally — into a
+// differential scenario: a program drawn from a menu weighted toward the
+// instructions whose compiled lowering is newest and trickiest (the divide
+// family and the fixed-point SSE subset), an initial machine state built
+// from a special-value table (zeros, sign boundaries, INT_MIN, all-ones),
+// and a patch script of slot replacements and swaps. The fuzzer mutates raw
+// bytes; this decoder turns every mutation into a valid scenario, so there
+// are no rejected inputs to waste the search on.
+//
+// Layout (a cursor that reads zero once the input is exhausted, so short
+// inputs are legal):
+//
+//	[0]         program length: 1 + b%12 slots
+//	per slot    5 bytes: menu selector + 4 argument bytes (fixed width, so
+//	            the encoder in SeedCorpus cannot drift from the decoder)
+//	snapshot    fixed-size block: 16 GPRs (2 bytes each: value-table index,
+//	            tweak), RegDef, 16 XMMs (4 bytes: 2 per lane), XmmDef,
+//	            flags, flags-def, memory seed + def/valid stripe masks,
+//	            and RDI/RSI segment offsets
+//	edits       6 bytes each while input remains: slot selector + a menu
+//	            instruction (or a swap when the selector's high bit is set)
+//
+// To extend the corpus when adding an opcode to the compiled pipeline: add
+// a menu entry for it (a new Fz* constant and a decodeFuzzInst case), and a
+// named seed in SeedCorpus exercising its edge cases; the checked-in
+// corpus files under internal/emu/testdata/fuzz are regenerated with
+// `go test ./internal/emu -run TestFuzzSeedCorpusFiles -update-fuzz-corpus`.
+
+import (
+	"repro/internal/emu"
+	"repro/internal/x64"
+)
+
+// FuzzSegBase and FuzzSegSize locate the one memory segment of every fuzz
+// snapshot; decoded pointer values and RDI/RSI offsets land inside it.
+const (
+	FuzzSegBase = 0x10000
+	FuzzSegSize = 128
+)
+
+// maxFuzzEdits bounds the patch script so adversarial input lengths cannot
+// make one fuzz execution arbitrarily slow.
+const maxFuzzEdits = 128
+
+// FuzzEdit is one step of a patch script: replace Slot with With, or (when
+// Swap is set) exchange Slot and Other — the two mutation shapes the MCMC
+// sampler patches compiled programs with.
+type FuzzEdit struct {
+	Slot  int
+	With  x64.Inst
+	Swap  bool
+	Other int
+}
+
+// FuzzCase is a decoded differential scenario.
+type FuzzCase struct {
+	Prog  *x64.Program
+	Snap  *emu.Snapshot
+	Edits []FuzzEdit
+}
+
+// Menu selectors, one per instruction family. Exported so seeds (and tests
+// over them) name slots symbolically instead of by magic number.
+const (
+	FzUnused byte = iota
+	FzDiv
+	FzIdiv
+	FzMulWide
+	FzMovGX
+	FzMovups
+	FzShuffle
+	FzPacked
+	FzPackedShift
+	FzALU
+	FzShift
+	FzMovScalar
+	FzCmpTest
+	FzJcc
+	FzLabel
+	FzJmp
+	FzRet
+	fzMenuLen
+)
+
+// fuzzVals is the special-value table machine state is sampled from: the
+// zero/one neighbourhood, per-width sign boundaries (the denormal-free
+// fixed-point edges of the SSE lanes), INT_MIN, and all-ones — the values
+// the divide faults and packed wraparounds hinge on.
+var fuzzVals = [16]uint64{
+	0, 1, 2, 3,
+	0x7f, 0x80, 0xff, 0x7fff,
+	0x8000, 0x7fffffff, 0x80000000, 0xffffffff,
+	1<<63 - 1, 1 << 63, ^uint64(0), ^uint64(0) - 1,
+}
+
+// Value-table indices for seed construction, named after their role.
+const (
+	fvZero     byte = 0
+	fvOne      byte = 1
+	fvTwo      byte = 2
+	fvThree    byte = 3
+	fvInt32Max byte = 9
+	fvInt32Min byte = 10
+	fvU32Max   byte = 11
+	fvInt64Min byte = 13
+	fvAllOnes  byte = 14
+)
+
+// fuzzVal maps two bytes to a 64-bit value: a table entry, optionally
+// xor-perturbed by the tweak byte at a table-index-selected lane, or (high
+// bit) a pointer into the fuzz segment.
+func fuzzVal(idx, tweak byte) uint64 {
+	if idx&0x80 != 0 {
+		return FuzzSegBase + uint64(tweak)%FuzzSegSize
+	}
+	v := fuzzVals[idx%16]
+	if tweak != 0 {
+		v ^= uint64(tweak) << (8 * ((idx >> 4) & 7))
+	}
+	return v
+}
+
+type fuzzCursor struct {
+	data []byte
+	i    int
+}
+
+func (c *fuzzCursor) byte() byte {
+	if c.i >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.i]
+	c.i++
+	return b
+}
+
+func (c *fuzzCursor) remaining() int { return len(c.data) - c.i }
+
+// Decoding helpers shared by the menu cases.
+func fzR(b byte) x64.Reg    { return x64.Reg(b % x64.NumGPR) }
+func fzX(b byte) x64.Reg    { return x64.Reg(b % x64.NumXMM) }
+func fzW(b byte) uint8      { return []uint8{8, 4}[b&1] }
+func fzWAll(b byte) uint8   { return []uint8{1, 2, 4, 8}[b%4] }
+func fzDisp(b byte) int32   { return int32(int8(b)) }
+func fzBase(b byte) x64.Reg { return []x64.Reg{x64.RDI, x64.RSI}[b&1] }
+func fzCC(b byte) x64.Cond  { return x64.Cond(1 + int(b)%(int(x64.NumConds)-1)) }
+
+// decodeFuzzInst turns a menu selector and its four argument bytes into an
+// instruction. Every path yields something both execution engines define;
+// UNUSED is the explicit padding token (and the fallthrough for the
+// selector's modulo spill).
+func decodeFuzzInst(menu byte, a [4]byte) x64.Inst {
+	switch menu % fzMenuLen {
+	case FzDiv, FzIdiv:
+		op := x64.DIV
+		if menu%fzMenuLen == FzIdiv {
+			op = x64.IDIV
+		}
+		w := fzW(a[0])
+		if a[1]&0x80 != 0 {
+			return x64.MakeInst(op, x64.Mem(fzBase(a[2]), fzDisp(a[3]), w))
+		}
+		return x64.MakeInst(op, x64.R(fzR(a[1]), w))
+	case FzMulWide:
+		op := x64.MUL
+		if a[0]&1 != 0 {
+			op = x64.IMUL1
+		}
+		return x64.MakeInst(op, x64.R(fzR(a[2]), fzW(a[1])))
+	case FzMovGX:
+		w := fzW(a[1])
+		op := x64.MOVQX
+		if w == 4 {
+			op = x64.MOVD
+		}
+		switch a[0] % 4 {
+		case 0:
+			return x64.MakeInst(op, x64.R(fzR(a[2]), w), x64.X(fzX(a[3])))
+		case 1:
+			return x64.MakeInst(op, x64.X(fzX(a[3])), x64.R(fzR(a[2]), w))
+		case 2:
+			return x64.MakeInst(op, x64.Mem(fzBase(a[2]), fzDisp(a[3]), w), x64.X(fzX(a[2]>>1)))
+		default:
+			return x64.MakeInst(op, x64.X(fzX(a[2]>>1)), x64.Mem(fzBase(a[2]), fzDisp(a[3]), w))
+		}
+	case FzMovups:
+		switch a[0] % 3 {
+		case 0:
+			op := x64.MOVAPS
+			if a[0]&4 != 0 {
+				op = x64.MOVUPS
+			}
+			return x64.MakeInst(op, x64.X(fzX(a[2])), x64.X(fzX(a[3])))
+		case 1:
+			return x64.MakeInst(x64.MOVUPS, x64.Mem(fzBase(a[2]), fzDisp(a[3]), 16), x64.X(fzX(a[2]>>1)))
+		default:
+			return x64.MakeInst(x64.MOVUPS, x64.X(fzX(a[2]>>1)), x64.Mem(fzBase(a[2]), fzDisp(a[3]), 16))
+		}
+	case FzShuffle:
+		op := x64.SHUFPS
+		if a[0]&1 != 0 {
+			op = x64.PSHUFD
+		}
+		return x64.MakeInst(op, x64.Imm(int64(a[1]), 8), x64.X(fzX(a[2])), x64.X(fzX(a[3])))
+	case FzPacked:
+		ops := [10]x64.Opcode{
+			x64.PADDW, x64.PSUBW, x64.PMULLW,
+			x64.PADDD, x64.PSUBD, x64.PMULLD, x64.PADDQ,
+			x64.PAND, x64.POR, x64.PXOR,
+		}
+		op := ops[a[0]%10]
+		if a[1]&0x80 != 0 {
+			return x64.MakeInst(op, x64.Mem(fzBase(a[3]), fzDisp(a[3]>>1), 16), x64.X(fzX(a[2])))
+		}
+		return x64.MakeInst(op, x64.X(fzX(a[1])), x64.X(fzX(a[2])))
+	case FzPackedShift:
+		ops := [4]x64.Opcode{x64.PSLLD, x64.PSRLD, x64.PSLLQ, x64.PSRLQ}
+		return x64.MakeInst(ops[a[0]%4], x64.Imm(int64(a[1]), 8), x64.X(fzX(a[2])))
+	case FzALU:
+		ops := [7]x64.Opcode{x64.ADD, x64.SUB, x64.AND, x64.OR, x64.XOR, x64.ADC, x64.SBB}
+		op := ops[a[0]%7]
+		w := fzWAll(a[1])
+		dst := x64.R(fzR(a[2]), w)
+		if a[3]&0x80 != 0 {
+			return x64.MakeInst(op, x64.Imm(int64(fuzzVal(a[3]&0x7f, 0)), w), dst)
+		}
+		return x64.MakeInst(op, x64.R(fzR(a[3]), w), dst)
+	case FzShift:
+		ops := [5]x64.Opcode{x64.SHL, x64.SHR, x64.SAR, x64.ROL, x64.ROR}
+		op := ops[a[0]%5]
+		w := fzWAll(a[1])
+		dst := x64.R(fzR(a[2]), w)
+		if a[3]&0x80 != 0 {
+			return x64.MakeInst(op, x64.R(x64.RCX, 1), dst)
+		}
+		return x64.MakeInst(op, x64.Imm(int64(a[3]), w), dst)
+	case FzMovScalar:
+		w := fzWAll(a[1])
+		switch a[0] % 4 {
+		case 0:
+			return x64.MakeInst(x64.MOV, x64.R(fzR(a[2]), w), x64.R(fzR(a[3]), w))
+		case 1:
+			return x64.MakeInst(x64.MOV, x64.Imm(int64(fuzzVal(a[3], 0)), w), x64.R(fzR(a[2]), w))
+		case 2:
+			return x64.MakeInst(x64.MOV, x64.Mem(fzBase(a[2]), fzDisp(a[3]), w), x64.R(fzR(a[2]>>1), w))
+		default:
+			return x64.MakeInst(x64.MOV, x64.R(fzR(a[2]>>1), w), x64.Mem(fzBase(a[2]), fzDisp(a[3]), w))
+		}
+	case FzCmpTest:
+		w := fzW(a[1])
+		switch a[0] % 4 {
+		case 0:
+			return x64.MakeInst(x64.CMP, x64.R(fzR(a[2]), w), x64.R(fzR(a[3]), w))
+		case 1:
+			return x64.MakeInst(x64.TEST, x64.R(fzR(a[2]), w), x64.R(fzR(a[3]), w))
+		case 2:
+			in := x64.MakeInst(x64.SETcc, x64.R(fzR(a[2]), 1))
+			in.CC = fzCC(a[3])
+			return in
+		default:
+			in := x64.MakeInst(x64.CMOVcc, x64.R(fzR(a[2]), w), x64.R(fzR(a[3]), w))
+			in.CC = fzCC(a[1])
+			return in
+		}
+	case FzJcc:
+		in := x64.MakeInst(x64.Jcc, x64.LabelRef(int32(a[1]%4)))
+		in.CC = fzCC(a[0])
+		return in
+	case FzLabel:
+		return x64.MakeInst(x64.LABEL, x64.LabelRef(int32(a[0]%4)))
+	case FzJmp:
+		return x64.MakeInst(x64.JMP, x64.LabelRef(int32(a[0]%4)))
+	case FzRet:
+		return x64.MakeInst(x64.RET)
+	}
+	return x64.Unused()
+}
+
+// DecodeFuzzCase decodes any byte string into a differential scenario (see
+// the file comment for the layout).
+func DecodeFuzzCase(data []byte) *FuzzCase {
+	c := &fuzzCursor{data: data}
+
+	n := 1 + int(c.byte())%12
+	prog := x64.NewProgram(n)
+	for i := 0; i < n; i++ {
+		menu := c.byte()
+		var a [4]byte
+		for j := range a {
+			a[j] = c.byte()
+		}
+		prog.Insts[i] = decodeFuzzInst(menu, a)
+	}
+
+	s := &emu.Snapshot{}
+	for r := 0; r < x64.NumGPR; r++ {
+		s.Regs[r] = fuzzVal(c.byte(), c.byte())
+	}
+	s.RegDef = uint16(c.byte()) | uint16(c.byte())<<8
+	for r := 0; r < x64.NumXMM; r++ {
+		s.Xmm[r] = [2]uint64{fuzzVal(c.byte(), c.byte()), fuzzVal(c.byte(), c.byte())}
+	}
+	s.XmmDef = uint16(c.byte()) | uint16(c.byte())<<8
+	s.Flags = x64.FlagSet(c.byte() % 32)
+	s.FlagsDef = x64.FlagSet(c.byte() % 32)
+
+	seed, defMask, validMask := c.byte(), c.byte(), c.byte()
+	im := emu.MemImage{
+		Base:  FuzzSegBase,
+		Data:  make([]byte, FuzzSegSize),
+		Def:   make([]bool, FuzzSegSize),
+		Valid: make([]bool, FuzzSegSize),
+	}
+	for i := 0; i < FuzzSegSize; i++ {
+		im.Data[i] = seed ^ byte(i*13)
+		im.Def[i] = defMask>>(i%8)&1 == 1
+		im.Valid[i] = validMask>>(i%8)&1 == 1
+	}
+	s.Mem = []emu.MemImage{im}
+
+	rdi, rsi := c.byte(), c.byte()
+	if rdi&0x80 == 0 {
+		s.Regs[x64.RDI] = FuzzSegBase + uint64(rdi)%FuzzSegSize
+		s.RegDef |= 1 << x64.RDI
+	}
+	if rsi&0x80 == 0 {
+		s.Regs[x64.RSI] = FuzzSegBase + uint64(rsi)%FuzzSegSize
+		s.RegDef |= 1 << x64.RSI
+	}
+	s.Regs[x64.RSP] = FuzzSegBase + FuzzSegSize/2
+	s.RegDef |= 1 << x64.RSP
+
+	fc := &FuzzCase{Prog: prog, Snap: s}
+	for c.remaining() >= 6 && len(fc.Edits) < maxFuzzEdits {
+		sel := c.byte()
+		menu := c.byte()
+		var a [4]byte
+		for j := range a {
+			a[j] = c.byte()
+		}
+		if sel&0x80 != 0 {
+			fc.Edits = append(fc.Edits, FuzzEdit{
+				Slot: int(sel) % n, Swap: true, Other: int(menu) % n,
+			})
+			continue
+		}
+		fc.Edits = append(fc.Edits, FuzzEdit{
+			Slot: int(sel) % n, With: decodeFuzzInst(menu, a),
+		})
+	}
+	return fc
+}

@@ -1,0 +1,202 @@
+package testgen
+
+// Seed corpus for the emulator's differential fuzz targets: hand-picked
+// scenarios covering the edges the DIV/IDIV and SSE lowering hinges on —
+// divide faults (#DE on zero divisors, 128/64 quotient overflow,
+// INT_MIN/-1), the denormal-free fixed-point lane boundaries of the SSE
+// subset, UNUSED-slot padding, and patch scripts that cross the control
+// relink path. The encoder here mirrors DecodeFuzzCase's layout byte for
+// byte (fixed-width slots make drift impossible); corpus_test.go decodes
+// every seed and asserts it still exercises the edge it is named for.
+
+// Seed is one named corpus entry.
+type Seed struct {
+	Name string
+	Data []byte
+}
+
+// fzSlot encodes one program slot (or the instruction half of an edit):
+// a menu selector plus exactly four argument bytes.
+func fzSlot(menu byte, args ...byte) []byte {
+	out := []byte{menu, 0, 0, 0, 0}
+	copy(out[1:], args)
+	return out
+}
+
+// fzEdit encodes a replacement edit of slot i.
+func fzEdit(i byte, inst []byte) []byte {
+	return append([]byte{i &^ 0x80}, inst...)
+}
+
+// fzSwap encodes a swap edit of slots i and j.
+func fzSwap(i, j byte) []byte {
+	return []byte{0x80 | i, j, 0, 0, 0, 0}
+}
+
+// fzSnap is the encoder-side snapshot spec, mirroring DecodeFuzzCase's
+// fixed-size block field for field.
+type fzSnap struct {
+	gprIdx    [16]byte // value-table index per GPR
+	xmmIdx    [16][2]byte
+	regDef    uint16
+	xmmDef    uint16
+	flags     byte
+	flagsDef  byte
+	memSeed   byte
+	defMask   byte
+	validMask byte
+	rdi, rsi  byte // segment offsets; 0x80 keeps the table value
+}
+
+// defaultFzSnap: everything defined, values staggered over the table,
+// fully valid and defined memory, both pointer registers in the segment.
+func defaultFzSnap() fzSnap {
+	s := fzSnap{
+		regDef: 0xffff, xmmDef: 0xffff,
+		flagsDef: 0x1f,
+		defMask:  0xff, validMask: 0xff,
+		rdi: 0, rsi: 64,
+	}
+	for i := range s.gprIdx {
+		s.gprIdx[i] = byte(i)
+	}
+	for i := range s.xmmIdx {
+		s.xmmIdx[i] = [2]byte{byte(i), byte(15 - i)}
+	}
+	return s
+}
+
+func (s fzSnap) bytes() []byte {
+	var out []byte
+	for _, idx := range s.gprIdx {
+		out = append(out, idx, 0)
+	}
+	out = append(out, byte(s.regDef), byte(s.regDef>>8))
+	for _, lanes := range s.xmmIdx {
+		out = append(out, lanes[0], 0, lanes[1], 0)
+	}
+	out = append(out, byte(s.xmmDef), byte(s.xmmDef>>8))
+	out = append(out, s.flags, s.flagsDef)
+	out = append(out, s.memSeed, s.defMask, s.validMask)
+	out = append(out, s.rdi, s.rsi)
+	return out
+}
+
+// seed assembles one corpus entry: program length byte, slots, snapshot,
+// edit script.
+func seed(name string, snap fzSnap, slots [][]byte, edits ...[]byte) Seed {
+	data := []byte{byte(len(slots) - 1)}
+	for _, s := range slots {
+		data = append(data, s...)
+	}
+	data = append(data, snap.bytes()...)
+	for _, e := range edits {
+		data = append(data, e...)
+	}
+	return Seed{Name: name, Data: data}
+}
+
+// rsiReg is the FzDiv/FzIdiv argument selecting RSI as the divisor source.
+const rsiReg = 6
+
+// SeedCorpus returns the named seed entries both fuzz targets start from.
+func SeedCorpus() []Seed {
+	divSnap := func(rax, rdx, rsi byte) fzSnap {
+		s := defaultFzSnap()
+		s.gprIdx[0] = rax // RAX
+		s.gprIdx[2] = rdx // RDX
+		s.gprIdx[6] = rsi // RSI
+		s.rsi = 0x80      // keep the table divisor, don't repoint RSI
+		return s
+	}
+
+	var seeds []Seed
+	seeds = append(seeds,
+		seed("div64-by-zero", divSnap(fvThree, fvZero, fvZero),
+			[][]byte{fzSlot(FzDiv, 0, rsiReg)}),
+		seed("div64-quotient-overflow", divSnap(fvThree, fvThree, fvTwo),
+			[][]byte{fzSlot(FzDiv, 0, rsiReg)}),
+		seed("idiv64-intmin-neg1", divSnap(fvInt64Min, fvAllOnes, fvAllOnes),
+			[][]byte{fzSlot(FzIdiv, 0, rsiReg)}),
+		seed("idiv32-intmin-neg1", divSnap(fvInt32Min, fvU32Max, fvAllOnes),
+			[][]byte{fzSlot(FzIdiv, 1, rsiReg)}),
+		seed("div32-then-store", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzALU, 4, 1, 0, 2), // xor RAX-family noise
+				fzSlot(FzDiv, 1, 0x80, 0, 8),
+				fzSlot(FzMovScalar, 3, 2, 0, 16),
+			}),
+	)
+
+	vec := defaultFzSnap()
+	vec.xmmIdx[0] = [2]byte{fvInt32Max, fvInt32Min}
+	vec.xmmIdx[1] = [2]byte{fvU32Max, fvOne}
+	seeds = append(seeds,
+		// The saxpy shape: broadcast, packed multiply, packed add, store.
+		seed("sse-saxpy-shape", vec,
+			[][]byte{
+				fzSlot(FzMovGX, 0, 1, 7, 0),   // movd edi, xmm0
+				fzSlot(FzShuffle, 0, 0, 0, 0), // shufps 0, xmm0, xmm0
+				fzSlot(FzMovups, 1, 0, 2, 0),  // movups (rdi), xmm1
+				fzSlot(FzPacked, 5, 1, 0),     // pmulld xmm1, xmm0
+				fzSlot(FzMovups, 1, 0, 3, 0),  // movups (rsi), xmm1
+				fzSlot(FzPacked, 3, 1, 0),     // paddd xmm1, xmm0
+				fzSlot(FzMovups, 2, 0, 0, 0),  // movups xmm0, (rdi)
+			}),
+		// Lane-boundary arithmetic, the pxor zero idiom, and shift counts
+		// at the lane width.
+		seed("sse-fixed-point-edges", vec,
+			[][]byte{
+				fzSlot(FzPacked, 9, 2, 2),        // pxor xmm2, xmm2 (zero idiom)
+				fzSlot(FzPackedShift, 0, 32, 1),  // pslld 32, xmm1
+				fzSlot(FzPackedShift, 3, 64, 1),  // psrlq 64, xmm1
+				fzSlot(FzPacked, 2, 0x80, 3, 0),  // pmullw (rdi), xmm3
+				fzSlot(FzPacked, 0, 0, 0),        // paddw xmm0, xmm0
+				fzSlot(FzShuffle, 1, 0x1b, 1, 2), // pshufd 0x1b, xmm1, xmm2
+			}),
+	)
+
+	pad := defaultFzSnap()
+	seeds = append(seeds,
+		// Mostly-UNUSED padding with edits that grow, shrink and swap the
+		// live slots — the skip-chain repair path of Patch.
+		seed("unused-padding-patches", pad,
+			[][]byte{
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzALU, 0, 2, 0, 6),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzMovScalar, 0, 3, 7, 0),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+			},
+			fzEdit(4, fzSlot(FzPacked, 3, 0, 1)),
+			fzEdit(2, fzSlot(FzUnused)),
+			fzSwap(2, 7),
+			fzEdit(9, fzSlot(FzDiv, 0, rsiReg)),
+			fzSwap(9, 0),
+		),
+		// Control structure under patching: a conditional crossing a label,
+		// edits that delete and re-create the jump (full relink path).
+		seed("patch-control-relink", pad,
+			[][]byte{
+				fzSlot(FzCmpTest, 0, 0, 7, 6), // cmp
+				fzSlot(FzJcc, 2, 1),           // jcc .L1
+				fzSlot(FzALU, 0, 3, 0, 1),
+				fzSlot(FzLabel, 1),
+				fzSlot(FzALU, 1, 3, 0, 2),
+				fzSlot(FzRet),
+			},
+			fzEdit(1, fzSlot(FzUnused)),
+			fzSwap(3, 2),
+			fzEdit(1, fzSlot(FzJcc, 5, 1)),
+			fzEdit(5, fzSlot(FzALU, 2, 2, 4, 4)),
+		),
+	)
+	return seeds
+}

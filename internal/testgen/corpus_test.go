@@ -1,0 +1,148 @@
+package testgen
+
+// Self-verification of the fuzz seed corpus: every named seed must decode
+// to the edge case it advertises, so corpus drift (an encoder/decoder
+// mismatch, a reshuffled menu) fails here instead of silently weakening
+// the fuzz targets' starting points.
+
+import (
+	"testing"
+
+	"repro/internal/x64"
+)
+
+func seedByName(t *testing.T, name string) *FuzzCase {
+	t.Helper()
+	for _, s := range SeedCorpus() {
+		if s.Name == name {
+			return DecodeFuzzCase(s.Data)
+		}
+	}
+	t.Fatalf("no seed named %q", name)
+	return nil
+}
+
+func TestSeedCorpusDecodesDeterministically(t *testing.T) {
+	for _, s := range SeedCorpus() {
+		a, b := DecodeFuzzCase(s.Data), DecodeFuzzCase(s.Data)
+		if a.Prog.String() != b.Prog.String() || len(a.Edits) != len(b.Edits) {
+			t.Errorf("%s: decode is not deterministic", s.Name)
+		}
+	}
+}
+
+func TestSeedCorpusCoversDivideFaults(t *testing.T) {
+	fc := seedByName(t, "div64-by-zero")
+	if fc.Prog.Insts[0].Op != x64.DIV {
+		t.Fatalf("div64-by-zero decodes to %v, want div", fc.Prog.Insts[0])
+	}
+	if v := fc.Snap.Regs[x64.RSI]; v != 0 {
+		t.Fatalf("div64-by-zero divisor = %#x, want 0", v)
+	}
+
+	fc = seedByName(t, "div64-quotient-overflow")
+	if hi, d := fc.Snap.Regs[x64.RDX], fc.Snap.Regs[x64.RSI]; hi < d {
+		t.Fatalf("overflow seed has RDX=%#x < divisor %#x; no #DE", hi, d)
+	}
+
+	fc = seedByName(t, "idiv64-intmin-neg1")
+	if fc.Prog.Insts[0].Op != x64.IDIV {
+		t.Fatalf("idiv64-intmin-neg1 decodes to %v", fc.Prog.Insts[0])
+	}
+	if fc.Snap.Regs[x64.RAX] != 1<<63 || fc.Snap.Regs[x64.RSI] != ^uint64(0) {
+		t.Fatalf("idiv64-intmin-neg1 state: RAX=%#x RSI=%#x",
+			fc.Snap.Regs[x64.RAX], fc.Snap.Regs[x64.RSI])
+	}
+
+	fc = seedByName(t, "idiv32-intmin-neg1")
+	if uint32(fc.Snap.Regs[x64.RAX]) != 0x80000000 || uint32(fc.Snap.Regs[x64.RSI]) != 0xffffffff {
+		t.Fatalf("idiv32-intmin-neg1 state: RAX=%#x RSI=%#x",
+			fc.Snap.Regs[x64.RAX], fc.Snap.Regs[x64.RSI])
+	}
+}
+
+func TestSeedCorpusCoversSSE(t *testing.T) {
+	fc := seedByName(t, "sse-saxpy-shape")
+	want := []x64.Opcode{x64.MOVD, x64.SHUFPS, x64.MOVUPS, x64.PMULLD,
+		x64.MOVUPS, x64.PADDD, x64.MOVUPS}
+	for i, op := range want {
+		if fc.Prog.Insts[i].Op != op {
+			t.Fatalf("sse-saxpy-shape slot %d = %v, want %v\n%s",
+				i, fc.Prog.Insts[i], op, fc.Prog)
+		}
+	}
+	if last := fc.Prog.Insts[6]; last.Opd[1].Kind != x64.KindMem {
+		t.Fatalf("sse-saxpy-shape must end in a vector store, got %v", last)
+	}
+
+	fc = seedByName(t, "sse-fixed-point-edges")
+	first := fc.Prog.Insts[0]
+	if first.Op != x64.PXOR || first.Opd[0].Reg != first.Opd[1].Reg {
+		t.Fatalf("sse-fixed-point-edges slot 0 = %v, want the pxor zero idiom", first)
+	}
+	if c := fc.Prog.Insts[1]; c.Op != x64.PSLLD || c.Opd[0].Imm != 32 {
+		t.Fatalf("sse-fixed-point-edges slot 1 = %v, want pslld by 32 (lane width)", c)
+	}
+	if c := fc.Prog.Insts[2]; c.Op != x64.PSRLQ || c.Opd[0].Imm != 64 {
+		t.Fatalf("sse-fixed-point-edges slot 2 = %v, want psrlq by 64", c)
+	}
+	if mem := fc.Prog.Insts[3]; mem.Op != x64.PMULLW || mem.Opd[0].Kind != x64.KindMem {
+		t.Fatalf("sse-fixed-point-edges slot 3 = %v, want memory-source pmullw", mem)
+	}
+}
+
+func TestSeedCorpusCoversPaddingAndRelink(t *testing.T) {
+	fc := seedByName(t, "unused-padding-patches")
+	unused := 0
+	for _, in := range fc.Prog.Insts {
+		if in.Op == x64.UNUSED {
+			unused++
+		}
+	}
+	if unused < 8 {
+		t.Fatalf("padding seed has %d UNUSED slots, want ≥ 8", unused)
+	}
+	if len(fc.Edits) != 5 || !fc.Edits[2].Swap {
+		t.Fatalf("padding seed edits = %+v, want 5 with a swap at index 2", fc.Edits)
+	}
+
+	fc = seedByName(t, "patch-control-relink")
+	hasJcc, hasLabel := false, false
+	for _, in := range fc.Prog.Insts {
+		hasJcc = hasJcc || in.Op == x64.Jcc
+		hasLabel = hasLabel || in.Op == x64.LABEL
+	}
+	if !hasJcc || !hasLabel {
+		t.Fatalf("relink seed lacks control structure:\n%s", fc.Prog)
+	}
+	if e := fc.Edits[0]; e.Swap || e.Slot != 1 || e.With.Op != x64.UNUSED {
+		t.Fatalf("relink seed edit 0 = %+v, want the jump deleted", e)
+	}
+	if e := fc.Edits[2]; e.With.Op != x64.Jcc {
+		t.Fatalf("relink seed edit 2 = %+v, want the jump re-created", e)
+	}
+}
+
+// TestDecodeFuzzCaseTotal: arbitrary and empty inputs must decode without
+// panicking into runnable scenarios.
+func TestDecodeFuzzCaseTotal(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0xff},
+		{0x0b, 0xde, 0xad, 0xbe, 0xef},
+		make([]byte, 4096),
+	}
+	for i := 0; i < 256; i++ {
+		inputs = append(inputs, []byte{byte(i), byte(i * 7), byte(i * 13)})
+	}
+	for _, in := range inputs {
+		fc := DecodeFuzzCase(in)
+		if fc.Prog == nil || fc.Snap == nil || len(fc.Prog.Insts) == 0 {
+			t.Fatalf("decode of %x produced an empty case", in)
+		}
+		if len(fc.Edits) > 128 {
+			t.Fatalf("edit script unbounded: %d", len(fc.Edits))
+		}
+	}
+}

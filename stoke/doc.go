@@ -51,6 +51,14 @@
 // Prunes counters, and every decision happens on a seeded schedule:
 // fixed-seed runs are bit-for-bit reproducible whatever the pool width.
 //
+// Candidate scoring runs on a decode-once compiled pipeline that covers
+// the whole proposal ISA — including the fixed-point SSE subset behind
+// WithSSE and the divide family — with no interpretive fallback on the
+// tracked kernels; the seed interpreter survives behind
+// WithInterpretedEval as the semantic reference, held equal to the
+// compiled path by randomized and fuzz-grade differential tests
+// (internal/emu's FuzzCompiledVsInterpreted and FuzzPatchVsFreshCompile).
+//
 // For one-shot use without managing an Engine, the package-level Optimize
 // creates a transient pool sized to the machine.
 package stoke

@@ -1,0 +1,146 @@
+package stoke
+
+// Edge cases of the β-ladder and coordinator configuration surface that the
+// PR 3 suite left uncovered: single-chain pools (no swap partner), explicit
+// ladders shorter than the chain count, and shared-profile reuse across
+// sequential Optimize calls on one engine.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestBetaLadderShorterThanChains pins the resolution rules when the
+// explicit WithLadder multipliers do not cover the chain count: multipliers
+// cycle (mults[i%len]), the default geometric ladder always covers n, and
+// a single-entry ladder is a uniform scale.
+func TestBetaLadderShorterThanChains(t *testing.T) {
+	st := defaultSettings()
+	st.tempering = true
+	st.ladder = []float64{1.0, 0.5}
+	got := st.betaLadder(2.0, 5)
+	want := []float64{2.0, 1.0, 2.0, 1.0, 2.0}
+	if len(got) != len(want) {
+		t.Fatalf("ladder length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("betaLadder(2.0, 5) = %v, want cycling %v", got, want)
+		}
+	}
+
+	st.ladder = []float64{0.25}
+	for i, b := range st.betaLadder(4.0, 3) {
+		if b != 1.0 {
+			t.Fatalf("single-multiplier ladder rung %d = %v, want uniform 1.0", i, b)
+		}
+	}
+
+	// The default geometric ladder must cover any chain count, including
+	// one replica (no hot tail to build).
+	st.ladder = nil
+	for _, n := range []int{1, 2, 3, 7} {
+		l := st.betaLadder(1.0, n)
+		if len(l) != n {
+			t.Fatalf("default ladder for %d chains has %d rungs", n, len(l))
+		}
+		if len(search.Ladder(1.0, n, search.DefaultLadderSpan)) != n {
+			t.Fatalf("search.Ladder under-covers %d chains", n)
+		}
+	}
+}
+
+// TestSingleChainPoolCompletes runs the full pipeline with one chain per
+// phase and tempering left on: the coordinator has at most a target-plus-
+// synthesized pair to ladder, often a single replica with no swap partner,
+// and must neither stall nor lose determinism.
+func TestSingleChainPoolCompletes(t *testing.T) {
+	run := func() *Report {
+		rep, err := Optimize(context.Background(), addKernel(),
+			WithSeed(5),
+			WithChains(1, 1),
+			WithBudgets(8000, 10000),
+			WithEll(10),
+			WithTempering(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Rewrite.String() != b.Rewrite.String() || a.Swaps != b.Swaps || a.Stats != b.Stats {
+		t.Fatalf("single-chain run not deterministic:\n%s (%d swaps)\nvs\n%s (%d swaps)",
+			a.Rewrite, a.Swaps, b.Rewrite, b.Swaps)
+	}
+}
+
+// TestShortLadderOptimizeDeterministic drives a real run whose explicit
+// two-rung ladder is shorter than its five chains, twice, and demands
+// identical outcomes — the modulo assignment must not disturb the seeded
+// swap schedule.
+func TestShortLadderOptimizeDeterministic(t *testing.T) {
+	run := func() *Report {
+		rep, err := Optimize(context.Background(), addKernel(),
+			WithSeed(11),
+			WithChains(5, 5),
+			WithBudgets(10000, 10000),
+			WithEll(10),
+			WithLadder(1.0, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Rewrite.String() != b.Rewrite.String() || a.Swaps != b.Swaps {
+		t.Fatalf("short-ladder run not deterministic: %d vs %d swaps", a.Swaps, b.Swaps)
+	}
+}
+
+// TestSharedProfileSequentialOptimize reuses one engine for consecutive
+// Optimize calls with the shared rejection profile enabled: each run must
+// build its own profile (no cross-run leakage), so a repeat with the same
+// seed is bit-identical to the first, and toggling the profile off still
+// agrees on the accept/reject trajectory's final answer.
+func TestSharedProfileSequentialOptimize(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2})
+	defer e.Close()
+	opts := []Option{
+		WithSeed(7),
+		WithChains(2, 2),
+		WithBudgets(10000, 12000),
+		WithEll(10),
+		WithSharedProfile(true),
+	}
+	first, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Rewrite.String() != second.Rewrite.String() || first.Stats != second.Stats {
+		t.Fatalf("sequential Optimize with a shared profile diverged:\n%s\nvs\n%s",
+			first.Rewrite, second.Rewrite)
+	}
+
+	// The profile only reorders testcase evaluation, so disabling it may
+	// change how early rejections fire but never the result of a converged
+	// run on this trivial kernel.
+	off, err := e.Optimize(context.Background(), addKernel(),
+		WithSeed(7),
+		WithChains(2, 2),
+		WithBudgets(10000, 12000),
+		WithEll(10),
+		WithSharedProfile(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Rewrite == nil {
+		t.Fatal("profile-off run returned no rewrite")
+	}
+}
