@@ -285,6 +285,40 @@ func BenchmarkEvalThroughputSSE(b *testing.B) {
 	}
 }
 
+// BenchmarkPatchLiveness measures the worst case of the patch-incremental
+// flag-liveness recomputation: a mutation at the last slot of an ℓ=50
+// candidate whose liveness flip survives a kill-free prefix (48 MOVs), so
+// every Patch re-walks the entire backward slice down to the flag writer
+// at slot 0 and re-selects its dispatch variant. This is the O(ℓ) bound
+// the Patch contract pays at most; typical ALU-dense candidates stop the
+// walk at the first unconditional flag writer.
+func BenchmarkPatchLiveness(b *testing.B) {
+	src := "addq rsi, rax\n"
+	for i := 0; i < 48; i++ {
+		src += "movq rdi, rcx\n"
+	}
+	src += "adcq 0, rax" // reads CF: keeps slot 0's flags live
+	p := x64.MustParse(src)
+	c := emu.Compile(p)
+	if c.FlagFreeSlots() != 0 {
+		b.Fatalf("adc tail must keep the head add live, got %d free slots", c.FlagFreeSlots())
+	}
+	last := len(p.Insts) - 1
+	withCarry := p.Insts[last]
+	noCarry := x64.MustParse("movq rdi, rdx").Insts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate a carry consumer in and out of the tail: each Patch
+		// flips the liveness of the whole 50-slot backward slice.
+		if i%2 == 0 {
+			p.Insts[last] = noCarry
+		} else {
+			p.Insts[last] = withCarry
+		}
+		c.Patch(last)
+	}
+}
+
 // BenchmarkProposalThroughput measures raw MCMC proposals per second on the
 // Montgomery kernel (the paper's Figure 5 peak is ~50k/s on 2012 hardware).
 func BenchmarkProposalThroughput(b *testing.B) {

@@ -59,6 +59,9 @@ func main() {
 		for k, v := range base.Speedups {
 			fmt.Printf("speedup %-12s %.2fx\n", k, v)
 		}
+		for k, v := range base.FlagFree {
+			fmt.Printf("flag-free %-12s %.0f%% of flag-writing slots\n", k, 100*v)
+		}
 		return
 	}
 

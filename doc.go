@@ -37,7 +37,17 @@
 // vector (saxpy) or Montgomery kernels reaches the generic interpreting
 // fallback (a dispatch-counter test pins this), and the sandbox's
 // definedness/validity planes are word-wide bitsets so the memory-bound
-// kernels pay one mask check per access instead of a byte loop. The
+// kernels pay one mask check per access instead of a byte loop. A backward
+// flag-liveness pass over the compiled form (internal/emu/liveness.go)
+// suppresses the flag computation and stores of every slot whose written
+// flags no later condition consumer, carry chain or exit can observe — the
+// majority of flag writes on ALU-dense candidates — selecting
+// flag-suppressed or reduced szp-only dispatch variants per slot, and
+// Patch keeps the MCMC contract by recomputing liveness only over the
+// affected backward slice (worst case O(ℓ), ~8ns/slot; the sampler's
+// reject path restores patched slots from snapshots without re-lowering at
+// all). Compiled.FlagFreeSlots reports the suppression coverage, recorded
+// per kernel row in BENCH_eval.json. The
 // original interpreter (Machine.Run, Fn.Eval) remains the semantic
 // reference behind stoke.WithInterpretedEval, pinned to the compiled path
 // by randomized differential tests and by fuzz-grade differential targets

@@ -215,6 +215,11 @@ func (f *Fn) Eval(p *x64.Program, budget float64) Result {
 		res.EqCost += f.evalOne(p, tc)
 		res.TestsRun++
 		if res.Cost+res.EqCost > budget {
+			// Record the early termination on the interpreted path too:
+			// without this, stoke.WithInterpretedEval runs never feed the
+			// kernel-wide rejection profile (or this Fn's own counters),
+			// so sibling and later chains would warm-start from nothing.
+			f.noteReject(i)
 			res.Cost += res.EqCost
 			res.Early = true
 			return res
@@ -222,6 +227,16 @@ func (f *Fn) Eval(p *x64.Program, budget float64) Result {
 	}
 	res.Cost += res.EqCost
 	return res
+}
+
+// noteReject records that testcase ti pushed an evaluation over its bound,
+// in this Fn's own adaptive-order counters (when built) and the shared
+// kernel-wide profile. Both evaluation paths funnel through it.
+func (f *Fn) noteReject(ti int) {
+	if ti < len(f.rejects) {
+		f.rejects[ti]++
+	}
+	f.Shared.Note(ti)
 }
 
 // Compile lowers p into the decode-once form EvalCompiled scores. The
@@ -255,8 +270,7 @@ func (f *Fn) EvalCompiled(c *emu.Compiled, budget float64) Result {
 		res.EqCost += f.score(m, tc, out)
 		res.TestsRun++
 		if res.Cost+res.EqCost > budget {
-			f.rejects[ti]++
-			f.Shared.Note(ti)
+			f.noteReject(ti)
 			res.Cost += res.EqCost
 			res.Early = true
 			f.noteEval()

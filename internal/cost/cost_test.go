@@ -136,6 +136,57 @@ func TestEarlyTermination(t *testing.T) {
 	}
 }
 
+// TestInterpretedEvalFeedsSharedProfile: the interpreted path's early
+// terminations must warm the shared testcase profile (and this Fn's own
+// counters) exactly like the compiled path's, so interpreted runs
+// (stoke.WithInterpretedEval) are not invisible to sibling chains.
+func TestInterpretedEvalFeedsSharedProfile(t *testing.T) {
+	target := x64.MustParse("movq rdi, rax")
+	spec := testgen.Spec{
+		BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+			a := testgen.NewArena(0x10000)
+			a.SetReg(x64.RDI, rng.Uint64())
+			return a.Snapshot()
+		},
+		LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RAX, Width: 8}}},
+	}
+	tests, err := testgen.Generate(target, spec, 8, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewSharedProfile(len(tests))
+	f := New(tests, spec.LiveOut, Strict, 0)
+	f.Shared = prof
+	bad := x64.MustParse("movq 0, rax")
+	for i := 0; i < 5; i++ {
+		if res := f.Eval(bad, 50); !res.Early {
+			t.Fatal("expected early termination")
+		}
+	}
+	order := prof.Order(len(tests))
+	var total int64
+	for i := range prof.counts {
+		total += prof.counts[i].Load()
+	}
+	if total != 5 {
+		t.Fatalf("shared profile recorded %d early terminations from the interpreted path, want 5", total)
+	}
+	// The terminating testcase (index 0: strict order, first over budget)
+	// must now lead a warm-started order.
+	if prof.counts[order[0]].Load() == 0 {
+		t.Fatalf("warm-started order %v does not front-load the discriminating testcase", order)
+	}
+
+	// A sibling compiled-path Fn warm-starts from what the interpreted
+	// chain learned.
+	sib := New(tests, spec.LiveOut, Strict, 0)
+	sib.Shared = prof
+	sib.EvalCompiled(sib.Compile(bad.Clone().PadTo(4)), MaxBudget)
+	if sib.order[0] != order[0] {
+		t.Fatalf("sibling order %v ignores the interpreted chain's profile %v", sib.order, order)
+	}
+}
+
 func TestPerfTermOrdersPrograms(t *testing.T) {
 	tests, live := figure6Testcase()
 	f := New(tests, live, Improved, 1)

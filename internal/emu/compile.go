@@ -33,6 +33,12 @@ import (
 //   - Jump targets are linked at compile time instead of scanning for
 //     labels on every taken branch; Compile also caches the Equation 13
 //     static-latency sum, maintained incrementally across patches.
+//   - A backward flag-liveness pass (liveness.go) marks the slots whose
+//     flag writes no later consumer or exit can observe, and swaps their
+//     dispatch codes for flag-suppressed (or reduced szp-only) variants,
+//     so the run loop skips dead addBits/subBits/szpBits work and the
+//     Flags/FlagsDef stores entirely. Patch recomputes liveness only over
+//     the affected backward slice.
 //
 // The struct-of-predecoded-fields + static handler design was chosen over
 // per-slot closures under benchmark: closures allocate per compile (hostile
@@ -107,6 +113,81 @@ const (
 	mkPOr
 	mkPXor
 	mkPXorZero
+
+	// Narrow scalar moves (merge-write destinations) and SETcc, common in
+	// the proposal mix, inlined to skip the indirect handler call.
+	mkMovRRN
+	mkMovRIN
+	mkSetcc
+
+	// Narrow (1/2-byte) ALU register forms: same bodies as their handlers
+	// (merge-write destination, nf-guarded flag store), inlined because
+	// the proposal distribution draws widths uniformly — half of all ALU
+	// proposals are narrow.
+	mkMovsxRR
+	mkAddRRN
+	mkAddRIN
+	mkSubRRN
+	mkSubRIN
+	mkAndRRN
+	mkAndRIN
+	mkOrRRN
+	mkOrRIN
+	mkXorRRN
+	mkXorRIN
+	mkZeroN
+	mkIncN
+	mkDecN
+	mkNegN
+
+	// Immediate-count shift codes (wide destination, nonzero masked count;
+	// zero counts and CL counts stay on the handler path).
+	mkShlIW
+	mkShrIW
+	mkSarIW
+
+	// Flag-suppressed ("NF") variants of the flag-writing codes above,
+	// selected per slot by the liveness pass (liveness.go) when none of the
+	// flags the instruction writes is live-out: the inline bodies perform
+	// the same register reads (same undef accounting) and the same
+	// destination write, but skip the flag computation and the
+	// Flags/FlagsDef stores. Each such slot's u.run remains the full
+	// handler, which the bounded loop — where exhaustion makes every slot
+	// an exit — dispatches through (with the nf bit cleared) instead.
+	mkAddRRWNF
+	mkAddRIWNF
+	mkSubRRWNF
+	mkSubRIWNF
+	mkAndRRWNF
+	mkAndRIWNF
+	mkOrRRWNF
+	mkOrRIWNF
+	mkXorRRWNF
+	mkXorRIWNF
+	mkZeroWNF
+	mkCmpRRNF
+	mkCmpRINF
+	mkTestRRNF
+	mkTestRINF
+	mkIncWNF
+	mkDecWNF
+	mkNegWNF
+	mkShlIWNF
+	mkShrIWNF
+	mkSarIWNF
+
+	// Reduced szp-only variants for partially-live arithmetic slots (only
+	// SF/ZF/PF read downstream): the carry/overflow arithmetic of
+	// addBits/subBits is skipped, the szp word is stored under the full
+	// write mask (the CF/OF bits it clears are dead by construction).
+	mkAddRRWZ
+	mkAddRIWZ
+	mkSubRRWZ
+	mkSubRIWZ
+	mkCmpRRZ
+	mkCmpRIZ
+
+	mkNumKinds // sentinel: the variant-map invariant test sweeps [0, mkNumKinds)
 )
 
 // kindW tags a lowered slot with a hot-dispatch code when the destination
@@ -114,6 +195,16 @@ const (
 func (u *microOp) kindW(k microKind) {
 	if u.w >= 4 {
 		u.kind = k
+	}
+}
+
+// kindWN tags a lowered slot with the wide code or its narrow
+// (merge-write) companion, by destination width.
+func (u *microOp) kindWN(wide, narrow microKind) {
+	if u.w >= 4 {
+		u.kind = wide
+	} else {
+		u.kind = narrow
 	}
 }
 
@@ -135,12 +226,26 @@ type microOp struct {
 	cc     x64.Cond
 	dst    x64.Reg
 	src    x64.Reg
+	nf     bool  // liveness: every flag this slot writes is dead (liveness.go)
 	target int32 // jump destination (slot index)
 	next   int32 // first live slot after this one: the fall-through pc
 	mask   uint64
 	sbit   uint64
 	imm    uint64
 	lat    float64 // static latency of this slot (Equation 13 term)
+}
+
+// slotFlags is the flag-liveness state of one slot (liveness.go): the
+// instruction's flag reads (gen), unconditional redefinitions (kill) and
+// possible writes, plus the analysis result (liveOut) its dispatch-code
+// variant is selected from. Kept out of microOp deliberately: the run loop
+// never reads liveness state, and microOp fills exactly one cache line —
+// benchmarked, growing it past 64 bytes costs more than the pass saves.
+type slotFlags struct {
+	gen     x64.FlagSet
+	kill    x64.FlagSet
+	write   x64.FlagSet
+	liveOut x64.FlagSet
 }
 
 // setWidth bakes the destination width, its mask and its sign bit into u.
@@ -162,6 +267,15 @@ type Compiled struct {
 	// maintained incrementally by Patch. Latencies are integral, so the
 	// incremental float updates stay exact.
 	hsum float64
+
+	// flags holds each slot's liveness summary and live-out set, liveIn
+	// each slot's live-in set, and minJSrc[t] the lowest-indexed jump
+	// targeting slot t (-1 when none) — the early-stop barrier of the
+	// incremental liveness recomputation. All maintained by link/Patch
+	// (liveness.go).
+	flags   []slotFlags
+	liveIn  []x64.FlagSet
+	minJSrc []int32
 }
 
 // StaticLatency returns the cached Equation 13 sum of the compiled
@@ -172,7 +286,13 @@ func (c *Compiled) StaticLatency() float64 { return c.hsum }
 // references p: callers that mutate p must Patch (or Recompile) before the
 // next RunCompiled.
 func Compile(p *x64.Program) *Compiled {
-	c := &Compiled{prog: p, ops: make([]microOp, len(p.Insts))}
+	c := &Compiled{
+		prog:    p,
+		ops:     make([]microOp, len(p.Insts)),
+		flags:   make([]slotFlags, len(p.Insts)),
+		liveIn:  make([]x64.FlagSet, len(p.Insts)),
+		minJSrc: make([]int32, len(p.Insts)),
+	}
 	for i := range p.Insts {
 		c.lowerSlot(i)
 	}
@@ -188,6 +308,9 @@ func (c *Compiled) Program() *x64.Program { return c.prog }
 func (c *Compiled) Recompile() {
 	if len(c.ops) != len(c.prog.Insts) {
 		c.ops = make([]microOp, len(c.prog.Insts))
+		c.flags = make([]slotFlags, len(c.prog.Insts))
+		c.liveIn = make([]x64.FlagSet, len(c.prog.Insts))
+		c.minJSrc = make([]int32, len(c.prog.Insts))
 		c.hsum = 0
 	}
 	for i := range c.prog.Insts {
@@ -203,6 +326,41 @@ func (c *Compiled) Recompile() {
 func (c *Compiled) Patch(i int) {
 	wasCtl := c.ops[i].ctl
 	c.lowerSlot(i)
+	c.repairSlot(i, wasCtl)
+}
+
+// SavedSlot captures one slot's compiled state (micro-op and liveness
+// summary), so an undone mutation can restore the slot without re-lowering
+// it. The MCMC reject path — the majority of all proposals — pairs
+// SaveSlot before Patch with RestoreSlot after, skipping the decode,
+// flag-summary and latency work of a second lowerSlot.
+type SavedSlot struct {
+	op microOp
+	fl slotFlags
+}
+
+// SaveSlot snapshots slot i. Capture it before Patch re-lowers the slot.
+func (c *Compiled) SaveSlot(i int) SavedSlot {
+	return SavedSlot{op: c.ops[i], fl: c.flags[i]}
+}
+
+// RestoreSlot reinstates a snapshot of slot i after the program slot
+// itself has been restored, repairing the skip chain and liveness exactly
+// as Patch would. The snapshot must come from this Compiled and the
+// program instruction must equal the one the snapshot was taken over.
+func (c *Compiled) RestoreSlot(i int, s SavedSlot) {
+	wasCtl := c.ops[i].ctl
+	c.hsum += s.op.lat - c.ops[i].lat
+	c.ops[i] = s.op
+	c.flags[i] = s.fl
+	c.repairSlot(i, wasCtl)
+}
+
+// repairSlot is the shared tail of Patch and RestoreSlot: relink fully
+// when control structure was (or becomes) involved, otherwise repair the
+// skip chain around slot i and recompute liveness over the affected
+// backward slice.
+func (c *Compiled) repairSlot(i int, wasCtl bool) {
 	u := &c.ops[i]
 	if wasCtl || u.ctl {
 		c.link()
@@ -231,6 +389,10 @@ func (c *Compiled) Patch(i int) {
 			break
 		}
 	}
+	// The slot's new flag summary can flip liveness for the backward
+	// slice ending at i; recompute it and re-select dispatch codes where
+	// live-out changed (the slot itself always re-selects).
+	c.patchLiveness(i)
 }
 
 // link computes skip-chain targets (right to left) and resolves jump
@@ -261,6 +423,23 @@ func (c *Compiled) link() {
 			}
 		}
 	}
+	// Record, per slot, the lowest jump source targeting it (jumps are
+	// forward-only, so sources always sit below their targets), then run
+	// the full liveness pass and variant selection over the relinked
+	// program.
+	for i := range c.minJSrc {
+		c.minJSrc[i] = -1
+	}
+	for i := range c.ops {
+		u := &c.ops[i]
+		if u.kind != mkJmp && u.kind != mkJcc {
+			continue
+		}
+		if t := int(u.target); t < n && c.minJSrc[t] < 0 {
+			c.minJSrc[t] = int32(i)
+		}
+	}
+	c.computeLiveness()
 }
 
 // lowerSlot decodes prog.Insts[i] into ops[i]. Skip-chain and jump targets
@@ -270,7 +449,8 @@ func (c *Compiled) lowerSlot(i int) {
 	u := &c.ops[i]
 	c.hsum -= u.lat // a stale slot's latency leaves the sum (zero when fresh)
 	*u = microOp{in: in}
-	u.lat = perf.Latency(*in)
+	c.flags[i] = slotFlags{}
+	u.lat = perf.LatencyOf(in)
 	c.hsum += u.lat
 	switch in.Op {
 	case x64.UNUSED:
@@ -283,6 +463,7 @@ func (c *Compiled) lowerSlot(i int) {
 	case x64.RET:
 		u.kind = mkRet
 		u.ctl = true
+		c.flags[i].gen = x64.AllFlags // an exit observes every flag
 		return
 	case x64.JMP:
 		u.kind = mkJmp
@@ -292,10 +473,13 @@ func (c *Compiled) lowerSlot(i int) {
 		u.kind = mkJcc
 		u.ctl = true
 		u.cc = in.CC
+		c.flags[i].gen = x64.FlagsReadByCond(in.CC)
 		return
 	}
 	u.kind = mkExec
 	u.run = hGeneric
+	f := &c.flags[i]
+	f.gen, f.kill, f.write = flagSummary(in)
 	lowerExec(u, in)
 }
 
@@ -313,6 +497,7 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			u.setWidth(d.Width)
 			u.w2 = s.Width
 			u.run = hMovsxRR
+			u.kind = mkMovsxRR
 		}
 
 	case x64.ADD, x64.SUB, x64.AND, x64.OR, x64.XOR, x64.ADC, x64.SBB:
@@ -378,10 +563,10 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			u.setWidth(d.Width)
 			if in.Op == x64.INC {
 				u.run = hIncR
-				u.kindW(mkIncW)
+				u.kindWN(mkIncW, mkIncN)
 			} else {
 				u.run = hDecR
-				u.kindW(mkDecW)
+				u.kindWN(mkDecW, mkDecN)
 			}
 		}
 
@@ -392,7 +577,7 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			u.setWidth(d.Width)
 			if in.Op == x64.NEG {
 				u.run = hNegR
-				u.kindW(mkNegW)
+				u.kindWN(mkNegW, mkNegN)
 			} else {
 				u.run = hNotR
 				u.kindW(mkNotW)
@@ -551,6 +736,7 @@ func lowerExec(u *microOp, in *x64.Inst) {
 			u.dst = d.Reg
 			u.cc = in.CC
 			u.run = hSetccR
+			u.kind = mkSetcc
 		}
 
 	case x64.MOVD, x64.MOVQX, x64.MOVUPS, x64.MOVAPS,
@@ -575,6 +761,7 @@ func lowerMov(u *microOp, in *x64.Inst) {
 		} else {
 			u.w = d.Width
 			u.run = hMovRRN
+			u.kind = mkMovRRN
 		}
 	case d.Kind == x64.KindReg && s.Kind == x64.KindImm:
 		u.dst = d.Reg
@@ -585,6 +772,7 @@ func lowerMov(u *microOp, in *x64.Inst) {
 		} else {
 			u.w = d.Width
 			u.run = hMovRIN
+			u.kind = mkMovRIN
 		}
 	case d.Kind == x64.KindReg && s.Kind == x64.KindMem:
 		u.dst = d.Reg
@@ -618,12 +806,12 @@ func lowerALU(u *microOp, in *x64.Inst) {
 	same := s.Kind == x64.KindReg && s.Reg == d.Reg && s.Width == d.Width
 	if same && in.Op == x64.XOR {
 		u.run = hXorZero
-		u.kindW(mkZeroW)
+		u.kindWN(mkZeroW, mkZeroN)
 		return
 	}
 	if same && in.Op == x64.SUB {
 		u.run = hSubZero
-		u.kindW(mkZeroW)
+		u.kindWN(mkZeroW, mkZeroN)
 		return
 	}
 	switch s.Kind {
@@ -635,19 +823,19 @@ func lowerALU(u *microOp, in *x64.Inst) {
 		switch in.Op {
 		case x64.ADD:
 			u.run = hAddRR
-			u.kindW(mkAddRRW)
+			u.kindWN(mkAddRRW, mkAddRRN)
 		case x64.SUB:
 			u.run = hSubRR
-			u.kindW(mkSubRRW)
+			u.kindWN(mkSubRRW, mkSubRRN)
 		case x64.AND:
 			u.run = hAndRR
-			u.kindW(mkAndRRW)
+			u.kindWN(mkAndRRW, mkAndRRN)
 		case x64.OR:
 			u.run = hOrRR
-			u.kindW(mkOrRRW)
+			u.kindWN(mkOrRRW, mkOrRRN)
 		case x64.XOR:
 			u.run = hXorRR
-			u.kindW(mkXorRRW)
+			u.kindWN(mkXorRRW, mkXorRRN)
 		case x64.ADC:
 			u.run = hAdcRR
 		case x64.SBB:
@@ -658,19 +846,19 @@ func lowerALU(u *microOp, in *x64.Inst) {
 		switch in.Op {
 		case x64.ADD:
 			u.run = hAddRI
-			u.kindW(mkAddRIW)
+			u.kindWN(mkAddRIW, mkAddRIN)
 		case x64.SUB:
 			u.run = hSubRI
-			u.kindW(mkSubRIW)
+			u.kindWN(mkSubRIW, mkSubRIN)
 		case x64.AND:
 			u.run = hAndRI
-			u.kindW(mkAndRIW)
+			u.kindWN(mkAndRIW, mkAndRIN)
 		case x64.OR:
 			u.run = hOrRI
-			u.kindW(mkOrRIW)
+			u.kindWN(mkOrRIW, mkOrRIN)
 		case x64.XOR:
 			u.run = hXorRI
-			u.kindW(mkXorRIW)
+			u.kindWN(mkXorRIW, mkXorRIN)
 		case x64.ADC:
 			u.run = hAdcRI
 		case x64.SBB:
@@ -731,8 +919,21 @@ func lowerShift(u *microOp, in *x64.Inst) {
 	}
 	if byCL {
 		u.run = h.cl
-	} else {
-		u.run = h.imm
+		return
+	}
+	u.run = h.imm
+	// Nonzero immediate counts get inline dispatch codes (and through
+	// them the liveness pass's flag-suppressed variants); a masked count
+	// of zero only rewrites the destination, which the handler handles.
+	if u.imm != 0 {
+		switch in.Op {
+		case x64.SHL:
+			u.kindW(mkShlIW)
+		case x64.SHR:
+			u.kindW(mkShrIW)
+		case x64.SAR:
+			u.kindW(mkSarIW)
+		}
 	}
 }
 
@@ -748,29 +949,38 @@ func lowerShift(u *microOp, in *x64.Inst) {
 // it.
 func (m *Machine) RunCompiled(c *Compiled) Outcome {
 	var out Outcome
-	pc, n := 0, len(c.ops)
-	if n > m.MaxSteps {
+	ops := c.ops
+	pc, n := uint(0), uint(len(ops))
+	if int(n) > m.MaxSteps {
 		return m.runCompiledBounded(c)
 	}
+	steps := 0
+	// pc is unsigned and the loop condition bounds it, so the slot access
+	// compiles without a bounds check; next/target are non-negative by
+	// construction (link clamps them to [0, n]).
 	for pc < n {
-		u := &c.ops[pc]
+		u := &ops[pc]
+		// Read the fall-through early: handlers never mutate the compiled
+		// form, and lifting the load off the loop-carried dependency lets
+		// it overlap the slot body.
+		nx := uint(u.next)
 		switch u.kind {
 		case mkSkip:
-			pc = int(u.next)
+			pc = uint(u.next)
 			continue
 		case mkRet:
 			pc = n
 			continue
 		case mkJmp:
-			out.Steps++
-			pc = int(u.target)
+			steps++
+			pc = uint(u.target)
 			continue
 		case mkJcc:
-			out.Steps++
+			steps++
 			if x64.EvalCond(u.cc, m.readFlagsFor(u.cc)) {
-				pc = int(u.target)
+				pc = uint(u.target)
 			} else {
-				pc = int(u.next)
+				pc = uint(u.next)
 			}
 			continue
 		case mkMovRRW:
@@ -898,6 +1108,248 @@ func (m *Machine) RunCompiled(c *Compiled) Outcome {
 		case mkNotW:
 			a := m.readReg(u.dst, u.mask)
 			m.setReg(u.dst, ^a&u.mask)
+		case mkMovRRN:
+			m.writeGPR(u.dst, u.w, m.readReg(u.src, u.mask))
+		case mkMovRIN:
+			m.writeGPR(u.dst, u.w, u.imm)
+		case mkSetcc:
+			v := uint64(0)
+			if x64.EvalCond(u.cc, m.readFlagsFor(u.cc)) {
+				v = 1
+			}
+			m.writeGPR(u.dst, 1, v)
+		case mkMovsxRR:
+			v := m.readReg(u.src, widthMask(u.w2))
+			inv := 64 - 8*uint(u.w2)
+			m.writeALU(u, uint64(int64(v<<inv)>>inv)&u.mask)
+		case mkAddRRN:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a + b) & u.mask
+			if !u.nf {
+				m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkAddRIN:
+			a := m.readReg(u.dst, u.mask)
+			r := (a + u.imm) & u.mask
+			if !u.nf {
+				m.putFlags(x64.AllFlags, addBits(a, u.imm, 0, r, u))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkSubRRN:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a - b) & u.mask
+			if !u.nf {
+				m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkSubRIN:
+			a := m.readReg(u.dst, u.mask)
+			r := (a - u.imm) & u.mask
+			if !u.nf {
+				m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, r, u))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkAndRRN:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a & b
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkAndRIN:
+			a := m.readReg(u.dst, u.mask)
+			r := a & u.imm
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkOrRRN:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a | b
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkOrRIN:
+			a := m.readReg(u.dst, u.mask)
+			r := a | u.imm
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkXorRRN:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := a ^ b
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkXorRIN:
+			a := m.readReg(u.dst, u.mask)
+			r := a ^ u.imm
+			if !u.nf {
+				m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkZeroN:
+			if !u.nf {
+				m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+			}
+			m.writeGPR(u.dst, u.w, 0)
+		case mkIncN:
+			a := m.readReg(u.dst, u.mask)
+			r := (a + 1) & u.mask
+			if !u.nf {
+				fl := szpBits(r, u.sbit)
+				if r == u.sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(incDecFlags, fl)
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkDecN:
+			a := m.readReg(u.dst, u.mask)
+			r := (a - 1) & u.mask
+			if !u.nf {
+				fl := szpBits(r, u.sbit)
+				if a == u.sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(incDecFlags, fl)
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkNegN:
+			a := m.readReg(u.dst, u.mask)
+			r := (-a) & u.mask
+			if !u.nf {
+				fl := szpBits(r, u.sbit)
+				if a != 0 {
+					fl |= x64.CF
+				}
+				if a == u.sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(x64.AllFlags, fl)
+			}
+			m.writeGPR(u.dst, u.w, r)
+		case mkShlIW:
+			a := m.readReg(u.dst, u.mask)
+			shlCore(m, u, a, u.imm)
+		case mkShrIW:
+			a := m.readReg(u.dst, u.mask)
+			shrCore(m, u, a, u.imm)
+		case mkSarIW:
+			a := m.readReg(u.dst, u.mask)
+			sarCore(m, u, a, u.imm)
+
+		// Flag-suppressed variants: same reads (same undef accounting) and
+		// the same destination write as their full twins, with the flag
+		// computation and Flags/FlagsDef stores skipped — every flag these
+		// slots would write is provably rewritten before any read or exit.
+		case mkAddRRWNF:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.setReg(u.dst, (a+b)&u.mask)
+		case mkAddRIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, (a+u.imm)&u.mask)
+		case mkSubRRWNF:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.setReg(u.dst, (a-b)&u.mask)
+		case mkSubRIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, (a-u.imm)&u.mask)
+		case mkAndRRWNF:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.setReg(u.dst, a&b)
+		case mkAndRIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, a&u.imm)
+		case mkOrRRWNF:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.setReg(u.dst, a|b)
+		case mkOrRIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, a|u.imm)
+		case mkXorRRWNF:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.setReg(u.dst, a^b)
+		case mkXorRIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, a^u.imm)
+		case mkZeroWNF:
+			m.setReg(u.dst, 0)
+		case mkCmpRRNF:
+			m.readReg(u.dst, u.mask)
+			m.readReg(u.src, u.mask)
+		case mkCmpRINF:
+			m.readReg(u.dst, u.mask)
+		case mkTestRRNF:
+			m.readReg(u.dst, u.mask)
+			m.readReg(u.src, u.mask)
+		case mkTestRINF:
+			m.readReg(u.dst, u.mask)
+		case mkIncWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, (a+1)&u.mask)
+		case mkDecWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, (a-1)&u.mask)
+		case mkNegWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, (-a)&u.mask)
+		case mkShlIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, a<<u.imm&u.mask)
+		case mkShrIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, a>>u.imm)
+		case mkSarIWNF:
+			a := m.readReg(u.dst, u.mask)
+			m.setReg(u.dst, uint64(sext(a, u.w)>>u.imm)&u.mask)
+
+		// Reduced szp-only variants: the live flags are a subset of
+		// SF/ZF/PF, so the carry/overflow arithmetic is skipped and the
+		// szp word stored under the full mask (its zero CF/OF are dead).
+		case mkAddRRWZ:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a + b) & u.mask
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkAddRIWZ:
+			a := m.readReg(u.dst, u.mask)
+			r := (a + u.imm) & u.mask
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkSubRRWZ:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			r := (a - b) & u.mask
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkSubRIWZ:
+			a := m.readReg(u.dst, u.mask)
+			r := (a - u.imm) & u.mask
+			m.putFlags(x64.AllFlags, szpBits(r, u.sbit))
+			m.setReg(u.dst, r)
+		case mkCmpRRZ:
+			a := m.readReg(u.dst, u.mask)
+			b := m.readReg(u.src, u.mask)
+			m.putFlags(x64.AllFlags, szpBits((a-b)&u.mask, u.sbit))
+		case mkCmpRIZ:
+			a := m.readReg(u.dst, u.mask)
+			m.putFlags(x64.AllFlags, szpBits((a-u.imm)&u.mask, u.sbit))
 		case mkMovdRX:
 			m.writeXmm(u.dst, [2]uint64{m.readReg(u.src, u.mask), 0})
 		case mkMovXX:
@@ -935,9 +1387,10 @@ func (m *Machine) RunCompiled(c *Compiled) Outcome {
 		default:
 			u.run(m, u)
 		}
-		out.Steps++
-		pc = int(u.next)
+		steps++
+		pc = nx
 	}
+	out.Steps = steps
 	out.SigSegv = m.sigsegv
 	out.SigFpe = m.sigfpe
 	out.Undef = m.undef
@@ -945,9 +1398,15 @@ func (m *Machine) RunCompiled(c *Compiled) Outcome {
 }
 
 // runCompiledBounded is the exhaustion-checking variant for programs longer
-// than the step budget, mirroring the interpreter's check placement. Every
-// executable slot carries its handler even when a hot-dispatch code is set,
-// so this loop dispatches through the handlers alone.
+// than the step budget, mirroring the interpreter's check placement. A run
+// that can exhaust its budget can stop at any slot — every slot is a
+// potential exit where the full flag state becomes observable — so the
+// liveness pass's suppressed forms are unsound here. This cold path
+// therefore dispatches every executable slot through a scratch copy of
+// its micro-op with the nf bit cleared: u.run is always the full-flag
+// handler (variant selection only ever swaps dispatch codes and sets nf),
+// so the copy restores exact all-live semantics for the price of a
+// 64-byte struct copy per step.
 func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 	var out Outcome
 	pc, n := 0, len(c.ops)
@@ -977,7 +1436,9 @@ func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 			}
 			continue
 		}
-		u.run(m, u)
+		tmp := *u
+		tmp.nf = false
+		tmp.run(m, &tmp)
 		out.Steps++
 		pc++
 	}
@@ -1002,9 +1463,10 @@ func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 func hGeneric(m *Machine, u *microOp) { m.generic++; m.exec(u.in) }
 
 func (m *Machine) readReg(r x64.Reg, mask uint64) uint64 {
-	if m.RegDef&(1<<r) == 0 {
-		m.undef++
-	}
+	// Branch-free undef accounting: whether a slot reads a defined
+	// register is data- and candidate-dependent, so the branch form
+	// mispredicts on the search workload (measured; same trick as flagIf).
+	m.undef += int(^m.RegDef >> r & 1)
 	return m.Regs[r] & mask
 }
 
@@ -1110,14 +1572,18 @@ func hAddRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
 	r := (a + b) & u.mask
-	m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
 func hAddRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := (a + u.imm) & u.mask
-	m.putFlags(x64.AllFlags, addBits(a, u.imm, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, addBits(a, u.imm, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1125,7 +1591,9 @@ func hAddMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
 	r := (a + b) & u.mask
-	m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, addBits(a, b, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1133,14 +1601,18 @@ func hSubRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
 	r := (a - b) & u.mask
-	m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
 func hSubRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := (a - u.imm) & u.mask
-	m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1148,20 +1620,19 @@ func hSubMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
 	r := (a - b) & u.mask
-	m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, b, 0, r, u))
+	}
 	m.writeALU(u, r)
 }
 
 // carryIn reads CF for adc/sbb, counting an undef read when CF is
 // undefined, as the interpreter does.
 func (m *Machine) carryIn() uint64 {
-	if m.FlagsDef&x64.CF == 0 {
-		m.undef++
-	}
-	if m.Flags&x64.CF != 0 {
-		return 1
-	}
-	return 0
+	// CF is FlagSet bit zero, so both the undef count and the carry value
+	// are single-bit extractions (branch-free, like readReg).
+	m.undef += int(^m.FlagsDef & x64.CF)
+	return uint64(m.Flags & x64.CF)
 }
 
 func hAdcRR(m *Machine, u *microOp) {
@@ -1169,7 +1640,9 @@ func hAdcRR(m *Machine, u *microOp) {
 	b := m.readReg(u.src, u.mask)
 	c := m.carryIn()
 	r := (a + b + c) & u.mask
-	m.putFlags(x64.AllFlags, addBits(a, b, c, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, addBits(a, b, c, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1177,7 +1650,9 @@ func hAdcRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	c := m.carryIn()
 	r := (a + u.imm + c) & u.mask
-	m.putFlags(x64.AllFlags, addBits(a, u.imm, c, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, addBits(a, u.imm, c, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1186,7 +1661,9 @@ func hSbbRR(m *Machine, u *microOp) {
 	b := m.readReg(u.src, u.mask)
 	c := m.carryIn()
 	r := (a - b - c) & u.mask
-	m.putFlags(x64.AllFlags, subBits(a, b, c, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, b, c, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1194,7 +1671,9 @@ func hSbbRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	c := m.carryIn()
 	r := (a - u.imm - c) & u.mask
-	m.putFlags(x64.AllFlags, subBits(a, u.imm, c, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, u.imm, c, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1204,14 +1683,18 @@ func hAndRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
 	r := a & b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
 func hAndRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := a & u.imm
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1219,7 +1702,9 @@ func hAndMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
 	r := a & b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1227,14 +1712,18 @@ func hOrRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
 	r := a | b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
 func hOrRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := a | u.imm
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1242,7 +1731,9 @@ func hOrMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
 	r := a | b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1250,14 +1741,18 @@ func hXorRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
 	r := a ^ b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
 func hXorRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := a ^ u.imm
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1265,48 +1760,64 @@ func hXorMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
 	r := a ^ b
-	m.putFlags(x64.AllFlags, logicBits(r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(r, u))
+	}
 	m.writeALU(u, r)
 }
 
 // hXorZero and hSubZero are the dependency-breaking zero idioms: defined
 // regardless of the register's contents, so no source read is counted.
 func hXorZero(m *Machine, u *microOp) {
-	m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	}
 	m.writeALU(u, 0)
 }
 
 func hSubZero(m *Machine, u *microOp) {
-	m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+	}
 	m.writeALU(u, 0)
 }
 
 func hCmpRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
-	m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+	}
 }
 
 func hCmpRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
-	m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, (a-u.imm)&u.mask, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, u.imm, 0, (a-u.imm)&u.mask, u))
+	}
 }
 
 func hCmpMR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
-	m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, subBits(a, b, 0, (a-b)&u.mask, u))
+	}
 }
 
 func hTestRR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	b := m.readReg(u.src, u.mask)
-	m.putFlags(x64.AllFlags, logicBits(a&b, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(a&b, u))
+	}
 }
 
 func hTestRI(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
-	m.putFlags(x64.AllFlags, logicBits(a&u.imm, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, logicBits(a&u.imm, u))
+	}
 }
 
 func hLea(m *Machine, u *microOp) {
@@ -1320,36 +1831,42 @@ const incDecFlags = x64.PF | x64.ZF | x64.SF | x64.OF
 func hIncR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := (a + 1) & u.mask
-	fl := szpBits(r, u.sbit)
-	if r == u.sbit {
-		fl |= x64.OF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if r == u.sbit {
+			fl |= x64.OF
+		}
+		m.putFlags(incDecFlags, fl)
 	}
-	m.putFlags(incDecFlags, fl)
 	m.writeALU(u, r)
 }
 
 func hDecR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := (a - 1) & u.mask
-	fl := szpBits(r, u.sbit)
-	if a == u.sbit {
-		fl |= x64.OF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if a == u.sbit {
+			fl |= x64.OF
+		}
+		m.putFlags(incDecFlags, fl)
 	}
-	m.putFlags(incDecFlags, fl)
 	m.writeALU(u, r)
 }
 
 func hNegR(m *Machine, u *microOp) {
 	a := m.readReg(u.dst, u.mask)
 	r := (-a) & u.mask
-	fl := szpBits(r, u.sbit)
-	if a != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if a != 0 {
+			fl |= x64.CF
+		}
+		if a == u.sbit {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	if a == u.sbit {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
@@ -1407,7 +1924,9 @@ func hImulRR(m *Machine, u *microOp) {
 	b := sext(m.readReg(u.src, u.mask), u.w)
 	hi, lo := mulSigned(a, b)
 	r := uint64(lo) & u.mask
-	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1416,7 +1935,9 @@ func hImulMR(m *Machine, u *microOp) {
 	b := sext(m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w)), u.w)
 	hi, lo := mulSigned(a, b)
 	r := uint64(lo) & u.mask
-	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1425,7 +1946,9 @@ func hImul3RR(m *Machine, u *microOp) {
 	b := sext(u.imm, u.w)
 	hi, lo := mulSigned(a, b)
 	r := uint64(lo) & u.mask
-	m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	if !u.nf {
+		m.putFlags(x64.AllFlags, imulBits(hi, lo, r, u))
+	}
 	m.writeALU(u, r)
 }
 
@@ -1449,11 +1972,13 @@ func hMul1R(m *Machine, u *microOp) {
 	}
 	m.setReg(x64.RAX, loOut)
 	m.setReg(x64.RDX, hiOut)
-	fl := szpBits(loOut, u.sbit)
-	if overflow {
-		fl |= x64.CF | x64.OF
+	if !u.nf {
+		fl := szpBits(loOut, u.sbit)
+		if overflow {
+			fl |= x64.CF | x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	m.putFlags(x64.AllFlags, fl)
 }
 
 func hImul1R(m *Machine, u *microOp) {
@@ -1474,11 +1999,13 @@ func hImul1R(m *Machine, u *microOp) {
 	}
 	m.setReg(x64.RAX, loOut)
 	m.setReg(x64.RDX, hiOut)
-	fl := szpBits(loOut, u.sbit)
-	if overflow {
-		fl |= x64.CF | x64.OF
+	if !u.nf {
+		fl := szpBits(loOut, u.sbit)
+		if overflow {
+			fl |= x64.CF | x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	m.putFlags(x64.AllFlags, fl)
 }
 
 // --- shifts --------------------------------------------------------------
@@ -1498,41 +2025,47 @@ func (m *Machine) shiftCL(u *microOp) uint64 {
 func shlCore(m *Machine, u *microOp, a, count uint64) {
 	bitsW := uint64(8 * uint(u.w))
 	r := a << count & u.mask
-	cf := count <= bitsW && a>>(bitsW-count)&1 != 0
-	fl := szpBits(r, u.sbit)
-	if cf {
-		fl |= x64.CF
+	if !u.nf {
+		cf := count <= bitsW && a>>(bitsW-count)&1 != 0
+		fl := szpBits(r, u.sbit)
+		if cf {
+			fl |= x64.CF
+		}
+		if (r&u.sbit != 0) != cf {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	if (r&u.sbit != 0) != cf {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
 func shrCore(m *Machine, u *microOp, a, count uint64) {
 	r := a >> count
-	fl := szpBits(r, u.sbit)
-	if a>>(count-1)&1 != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if a>>(count-1)&1 != 0 {
+			fl |= x64.CF
+		}
+		if a&u.sbit != 0 {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	if a&u.sbit != 0 {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
 func sarCore(m *Machine, u *microOp, a, count uint64) {
 	se := sext(a, u.w)
 	r := uint64(se>>count) & u.mask
-	fl := szpBits(r, u.sbit)
-	// The last bit shifted out, reading the sign-extended value so that
-	// counts past the width see the sign bit.
-	if se>>min(count-1, 63)&1 != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		// The last bit shifted out, reading the sign-extended value so
+		// that counts past the width see the sign bit.
+		if se>>min(count-1, 63)&1 != 0 {
+			fl |= x64.CF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
@@ -1543,15 +2076,17 @@ func rolCore(m *Machine, u *microOp, a, count uint64) {
 	if c == 0 {
 		r = a
 	}
-	cf := r&1 != 0
-	var fl x64.FlagSet
-	if cf {
-		fl |= x64.CF
+	if !u.nf {
+		cf := r&1 != 0
+		var fl x64.FlagSet
+		if cf {
+			fl |= x64.CF
+		}
+		if (r&u.sbit != 0) != cf {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.CF|x64.OF, fl)
 	}
-	if (r&u.sbit != 0) != cf {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.CF|x64.OF, fl)
 	m.writeALU(u, r)
 }
 
@@ -1562,14 +2097,16 @@ func rorCore(m *Machine, u *microOp, a, count uint64) {
 	if c == 0 {
 		r = a
 	}
-	var fl x64.FlagSet
-	if r&u.sbit != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		var fl x64.FlagSet
+		if r&u.sbit != 0 {
+			fl |= x64.CF
+		}
+		if (r&u.sbit != 0) != (r&(u.sbit>>1) != 0) {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.CF|x64.OF, fl)
 	}
-	if (r&u.sbit != 0) != (r&(u.sbit>>1) != 0) {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.CF|x64.OF, fl)
 	m.writeALU(u, r)
 }
 
@@ -1683,14 +2220,16 @@ func hShldI(m *Machine, u *microOp) {
 	}
 	bitsW := uint64(8 * uint(u.w))
 	r := (dst<<u.imm | src>>(bitsW-u.imm)) & u.mask
-	fl := szpBits(r, u.sbit)
-	if dst>>(bitsW-u.imm)&1 != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if dst>>(bitsW-u.imm)&1 != 0 {
+			fl |= x64.CF
+		}
+		if (r&u.sbit != 0) != (dst&u.sbit != 0) {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	if (r&u.sbit != 0) != (dst&u.sbit != 0) {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
@@ -1703,14 +2242,16 @@ func hShrdI(m *Machine, u *microOp) {
 	}
 	bitsW := uint64(8 * uint(u.w))
 	r := (dst>>u.imm | src<<(bitsW-u.imm)) & u.mask
-	fl := szpBits(r, u.sbit)
-	if dst>>(u.imm-1)&1 != 0 {
-		fl |= x64.CF
+	if !u.nf {
+		fl := szpBits(r, u.sbit)
+		if dst>>(u.imm-1)&1 != 0 {
+			fl |= x64.CF
+		}
+		if (r&u.sbit != 0) != (dst&u.sbit != 0) {
+			fl |= x64.OF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	if (r&u.sbit != 0) != (dst&u.sbit != 0) {
-		fl |= x64.OF
-	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
@@ -1719,11 +2260,13 @@ func hShrdI(m *Machine, u *microOp) {
 func hPopcntRR(m *Machine, u *microOp) {
 	a := m.readReg(u.src, u.mask)
 	r := uint64(bits.OnesCount64(a))
-	var fl x64.FlagSet
-	if a == 0 {
-		fl |= x64.ZF
+	if !u.nf {
+		var fl x64.FlagSet
+		if a == 0 {
+			fl |= x64.ZF
+		}
+		m.putFlags(x64.AllFlags, fl)
 	}
-	m.putFlags(x64.AllFlags, fl)
 	m.writeALU(u, r)
 }
 
@@ -1737,7 +2280,9 @@ func hBsfRR(m *Machine, u *microOp) {
 	} else {
 		r = uint64(bits.TrailingZeros64(a))
 	}
-	m.putFlags(x64.AllFlags, fl)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, fl)
+	}
 	m.writeALU(u, r)
 }
 
@@ -1750,7 +2295,9 @@ func hBsrRR(m *Machine, u *microOp) {
 	} else {
 		r = uint64(63 - bits.LeadingZeros64(a))
 	}
-	m.putFlags(x64.AllFlags, fl)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, fl)
+	}
 	m.writeALU(u, r)
 }
 
@@ -1770,7 +2317,9 @@ func hBtRR(m *Machine, u *microOp) {
 	if a>>idx&1 != 0 {
 		fl |= x64.CF
 	}
-	m.putFlags(x64.CF, fl)
+	if !u.nf {
+		m.putFlags(x64.CF, fl)
+	}
 }
 
 func hBtRI(m *Machine, u *microOp) {
@@ -1780,7 +2329,9 @@ func hBtRI(m *Machine, u *microOp) {
 	if a>>idx&1 != 0 {
 		fl |= x64.CF
 	}
-	m.putFlags(x64.CF, fl)
+	if !u.nf {
+		m.putFlags(x64.CF, fl)
+	}
 }
 
 func hXchgRR(m *Machine, u *microOp) {

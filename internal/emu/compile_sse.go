@@ -77,11 +77,15 @@ func lowerDiv(u *microOp, in *x64.Inst) {
 // divideFault is the deterministic #DE outcome: count a sigfpe, zero the
 // implicit outputs, define all flags as zero (matching execDivide's fault
 // closure; widths here are 4 or 8, so the direct stores match writeGPR).
-func (m *Machine) divideFault() {
+// Execution continues after a #DE, so the liveness pass's nf suppression
+// applies to the fault path like any other flag write.
+func (m *Machine) divideFault(nf bool) {
 	m.sigfpe++
 	m.setReg(x64.RAX, 0)
 	m.setReg(x64.RDX, 0)
-	m.putFlags(x64.AllFlags, 0)
+	if !nf {
+		m.putFlags(x64.AllFlags, 0)
+	}
 }
 
 // divCore is the unsigned divide of RDX:RAX by d at the width baked into u.
@@ -91,7 +95,7 @@ func (m *Machine) divCore(u *microOp, d uint64) {
 	lo := m.readReg(x64.RAX, u.mask)
 	hi := m.readReg(x64.RDX, u.mask)
 	if d == 0 || hi >= d && u.w == 8 {
-		m.divideFault()
+		m.divideFault(u.nf)
 		return
 	}
 	var q, r uint64
@@ -100,14 +104,16 @@ func (m *Machine) divCore(u *microOp, d uint64) {
 	} else {
 		full := hi<<(8*uint(u.w)) | lo
 		if full/d > u.mask {
-			m.divideFault()
+			m.divideFault(u.nf)
 			return
 		}
 		q, r = full/d, full%d
 	}
 	m.setReg(x64.RAX, q)
 	m.setReg(x64.RDX, r)
-	m.putFlags(x64.AllFlags, 0)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, 0)
+	}
 }
 
 // idivCore is the signed divide of RDX:RAX by d. The 64-bit form supports
@@ -118,17 +124,17 @@ func (m *Machine) idivCore(u *microOp, d uint64) {
 	lo := m.readReg(x64.RAX, u.mask)
 	hi := m.readReg(x64.RDX, u.mask)
 	if d == 0 {
-		m.divideFault()
+		m.divideFault(u.nf)
 		return
 	}
 	if u.w == 8 {
 		if hi != uint64(int64(lo)>>63) {
-			m.divideFault()
+			m.divideFault(u.nf)
 			return
 		}
 		n, dv := int64(lo), int64(d)
 		if n == -1<<63 && dv == -1 {
-			m.divideFault()
+			m.divideFault(u.nf)
 			return
 		}
 		m.setReg(x64.RAX, uint64(n/dv))
@@ -138,13 +144,15 @@ func (m *Machine) idivCore(u *microOp, d uint64) {
 		dv := sext(d, u.w)
 		q := full / dv
 		if q != sext(uint64(q)&u.mask, u.w) {
-			m.divideFault()
+			m.divideFault(u.nf)
 			return
 		}
 		m.setReg(x64.RAX, uint64(q)&u.mask)
 		m.setReg(x64.RDX, uint64(full%dv)&u.mask)
 	}
-	m.putFlags(x64.AllFlags, 0)
+	if !u.nf {
+		m.putFlags(x64.AllFlags, 0)
+	}
 }
 
 func hDivR(m *Machine, u *microOp) { m.divCore(u, m.readReg(u.src, u.mask)) }

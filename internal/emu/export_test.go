@@ -1,6 +1,10 @@
 package emu
 
-import "reflect"
+import (
+	"reflect"
+
+	"repro/internal/x64"
+)
 
 // FallbackSlots returns the indices of executable slots that lowered to the
 // generic interpreting handler — the slots RunCompiled would serve through
@@ -21,3 +25,24 @@ func (c *Compiled) FallbackSlots() []int {
 // XmmRestores reports how many individual XMM register restores
 // LoadSnapshotCached has performed over the machine's lifetime.
 func (m *Machine) XmmRestores() int { return m.xmmRestores }
+
+// SlotKinds exposes the per-slot dispatch codes, so the differential fuzz
+// targets can pin a patched form's liveness-driven variant selection to a
+// fresh compile's, not just its observable behaviour.
+func (c *Compiled) SlotKinds() []uint8 {
+	out := make([]uint8, len(c.ops))
+	for i := range c.ops {
+		out[i] = uint8(c.ops[i].kind)
+	}
+	return out
+}
+
+// LiveOuts exposes the per-slot live-out flag sets computed by the
+// liveness pass, for the directed liveness tests.
+func (c *Compiled) LiveOuts() []x64.FlagSet {
+	out := make([]x64.FlagSet, len(c.flags))
+	for i := range c.flags {
+		out[i] = c.flags[i].liveOut
+	}
+	return out
+}

@@ -61,6 +61,17 @@ func FuzzPatchVsFreshCompile(f *testing.F) {
 				t.Fatalf("edit %d: patched static latency %v, fresh %v\n%s",
 					step, c.StaticLatency(), recompiled.StaticLatency(), prog)
 			}
+			// The incremental liveness recomputation must converge to the
+			// same per-slot dispatch selection as a fresh compile: variant
+			// codes are a pure function of the program, never of the patch
+			// history.
+			pk, fk := c.SlotKinds(), recompiled.SlotKinds()
+			for s := range pk {
+				if pk[s] != fk[s] {
+					t.Fatalf("edit %d: slot %d dispatch code %d after patching, fresh compile has %d\n%s",
+						step, s, pk[s], fk[s], prog)
+				}
+			}
 			fresh.LoadSnapshot(fc.Snap)
 			of := fresh.RunCompiled(recompiled)
 			patched.LoadSnapshotCached(fc.Snap)

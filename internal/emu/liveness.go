@@ -1,0 +1,332 @@
+package emu
+
+import "repro/internal/x64"
+
+// This file implements the backward flag-liveness pass of the compiled
+// pipeline. Every specialised ALU handler historically computed and stored
+// the full five-flag word (putFlags(x64.AllFlags, ...)) even when the next
+// flag-reading consumer was preceded by another flag write — on the search
+// workload the large majority of flag writes are dead, because ℓ-slot
+// candidates are dense with ALU instructions and sparse with Jcc/SETcc/
+// CMOVcc/ADC-style readers. Compile therefore computes, per slot, which of
+// the five flags are live-out (read by a later consumer along some path
+// before being redefined, conservatively all-live at every exit), and the
+// hot flag-writing dispatch codes are swapped for flag-suppressed variants
+// on slots where no written flag is live: the run loop skips the
+// addBits/subBits/szpBits computation and the Flags/FlagsDef stores
+// entirely. Slots where only SF/ZF/PF survive take a reduced szp-only path
+// that skips the carry/overflow arithmetic.
+//
+// Soundness rests on three observations:
+//
+//   - Every observation point is covered. Flag values and definedness are
+//     observable at in-program reads (EvalCond/readFlagsFor and the
+//     adc/sbb carryIn, all of which consult only the flags their condition
+//     or opcode names) and at exit, where the cost function compares live
+//     flags and the differential tests compare the full Flags/FlagsDef
+//     words. Reads make a flag live; exits are modelled as reading
+//     AllFlags. A suppressed write is therefore only ever observed after
+//     an intervening full write of the same flag.
+//   - Kill sets are exact-or-conservative. A slot's kill set contains only
+//     flags whose value and definedness the handler rewrites
+//     unconditionally (shift-family opcodes with a dynamic or zero count
+//     kill nothing; DIV/IDIV kill everything — both the fault and success
+//     paths define all five flags as zero). A flag is only marked dead
+//     when every path to an exit kills it first.
+//   - Error accounting is preserved. Flag-suppressed variants perform
+//     exactly the register and flag reads of their full counterparts, in
+//     the same order, so the undef/sigsegv counters — observables of the
+//     cost function — cannot diverge.
+//
+// The bounded run loop (runCompiledBounded) is excluded by construction:
+// it can exhaust the step budget at any slot, which makes every slot a
+// potential exit, so it dispatches each slot through a scratch copy with
+// the nf bit cleared — u.run always remains the full-flag handler —
+// never through the selected variant codes.
+//
+// Patching. An MCMC move rewrites one slot, which can flip liveness for an
+// unbounded prefix of the program (the affected backward slice). Because
+// jumps are forward-only, slot order is a topological order of the CFG and
+// liveness needs no fixpoint iteration: Patch re-walks slots from the
+// mutated index toward slot 0, recomputing live-in/live-out from each
+// slot's stored gen/kill summary, re-selecting dispatch codes only where
+// live-out actually changed, and stopping as soon as a slot's live-in is
+// unchanged and no jump source below still targets a changed slot (the
+// minJSrc barrier). Worst case — a mutation at slot ℓ-1 whose liveness
+// change survives a kill-free prefix — the walk is O(ℓ);
+// BenchmarkPatchLiveness measures exactly that shape.
+
+// flagSummary derives the liveness summary of one executable instruction:
+// gen is the set of flags it reads (condition codes included), write the
+// set it may write, and kill the subset of write it unconditionally
+// redefines (value and definedness both).
+func flagSummary(in *x64.Inst) (gen, kill, write x64.FlagSet) {
+	info := x64.Info(in.Op)
+	gen = info.FlagsRead
+	if info.HasCC {
+		gen |= x64.FlagsReadByCond(in.CC)
+	}
+	write = info.FlagsWrite
+	kill = write
+	if info.CondFlags {
+		// Shift-family opcodes leave every flag untouched when the
+		// (masked) count is zero: a CL count is dynamic, so these slots
+		// kill nothing; an immediate count is decidable at decode time.
+		kill = 0
+		if in.Opd[0].Kind == x64.KindImm && info.DstSlot > 0 {
+			mask := int64(31)
+			if in.Opd[info.DstSlot].Width == 8 {
+				mask = 63
+			}
+			if in.Opd[0].Imm&mask == 0 {
+				write = 0 // never writes flags at all
+			} else {
+				kill = write
+			}
+		}
+	}
+	return gen, kill, write
+}
+
+// liveInAt reads the stored live-in of slot j, with every index at or past
+// the program end standing for an exit (all flags observable).
+func (c *Compiled) liveInAt(j int) x64.FlagSet {
+	if j >= len(c.ops) {
+		return x64.AllFlags
+	}
+	return c.liveIn[j]
+}
+
+// recomputeSlot refreshes slot j's live-out and live-in from its
+// successors' stored live-ins, reporting what changed. Successors follow
+// slot order (j+1), not the skip chain, so UNUSED/LABEL slots propagate
+// liveness transparently; RET has no successor and its AllFlags gen models
+// the exit.
+func (c *Compiled) recomputeSlot(j int) (inChanged, outChanged bool) {
+	u := &c.ops[j]
+	f := &c.flags[j]
+	var lo x64.FlagSet
+	switch u.kind {
+	case mkRet:
+		lo = 0
+	case mkJmp:
+		lo = c.liveInAt(int(u.target))
+	case mkJcc:
+		lo = c.liveInAt(int(u.target)) | c.liveInAt(j+1)
+	default:
+		lo = c.liveInAt(j + 1)
+	}
+	li := f.gen | lo&^f.kill
+	outChanged = lo != f.liveOut
+	f.liveOut = lo
+	inChanged = li != c.liveIn[j]
+	c.liveIn[j] = li
+	return inChanged, outChanged
+}
+
+// computeLiveness runs the full backward pass and (re-)selects every
+// slot's dispatch variant. Called from link, so fresh compiles, full
+// recompiles and control-structure patches all pass through it.
+func (c *Compiled) computeLiveness() {
+	for j := len(c.ops) - 1; j >= 0; j-- {
+		c.recomputeSlot(j)
+		c.applyLiveness(j)
+	}
+}
+
+// patchLiveness recomputes liveness over the backward slice affected by a
+// re-lowered slot i (whose dispatch code lowerSlot has just reset to the
+// full variant). The walk ends at the first slot whose live-in did not
+// change, unless a jump below it targets a slot whose live-in did — those
+// sources (tracked via minJSrc, always below their forward targets) must
+// be re-walked before their own predecessors can be trusted.
+func (c *Compiled) patchLiveness(i int) {
+	pending := -1
+	for j := i; j >= 0; j-- {
+		inChanged, outChanged := c.recomputeSlot(j)
+		if outChanged || j == i {
+			c.applyLiveness(j)
+		}
+		if inChanged {
+			if s := c.minJSrc[j]; s >= 0 && (pending < 0 || int(s) < pending) {
+				pending = int(s)
+			}
+		}
+		if !inChanged && (pending < 0 || j <= pending) {
+			break
+		}
+	}
+}
+
+// applyLiveness selects slot i's dispatch code from its live-out set:
+// the flag-suppressed variant when no written flag is live, the szp-only
+// variant when only SF/ZF/PF are, the full code otherwise. Only kind and
+// nf are ever touched — u.run stays the full-flag handler, which is what
+// lets the bounded loop recover all-live semantics from a copy with nf
+// cleared.
+func (c *Compiled) applyLiveness(i int) {
+	f := &c.flags[i]
+	if f.write == 0 {
+		return
+	}
+	u := &c.ops[i]
+	live := f.liveOut & f.write
+	u.kind = liveKind(baseKindOf(u.kind), live)
+	// The nf bit suppresses the flag store of handler-dispatched slots —
+	// the shapes without an inline variant code (narrow widths, memory
+	// sources, CL shifts, the mul/div families): every specialised
+	// flag-writing handler guards its putFlags on it. Generic-fallback
+	// slots ignore it (the interpreter switch always writes), which only
+	// costs the suppression, never correctness.
+	u.nf = live == 0
+}
+
+// baseKindOf maps a liveness-selected variant code back to its full-flag
+// base code (identity for every other kind).
+func baseKindOf(k microKind) microKind {
+	switch k {
+	case mkAddRRWNF, mkAddRRWZ:
+		return mkAddRRW
+	case mkAddRIWNF, mkAddRIWZ:
+		return mkAddRIW
+	case mkSubRRWNF, mkSubRRWZ:
+		return mkSubRRW
+	case mkSubRIWNF, mkSubRIWZ:
+		return mkSubRIW
+	case mkAndRRWNF:
+		return mkAndRRW
+	case mkAndRIWNF:
+		return mkAndRIW
+	case mkOrRRWNF:
+		return mkOrRRW
+	case mkOrRIWNF:
+		return mkOrRIW
+	case mkXorRRWNF:
+		return mkXorRRW
+	case mkXorRIWNF:
+		return mkXorRIW
+	case mkZeroWNF:
+		return mkZeroW
+	case mkCmpRRNF, mkCmpRRZ:
+		return mkCmpRR
+	case mkCmpRINF, mkCmpRIZ:
+		return mkCmpRI
+	case mkTestRRNF:
+		return mkTestRR
+	case mkTestRINF:
+		return mkTestRI
+	case mkIncWNF:
+		return mkIncW
+	case mkDecWNF:
+		return mkDecW
+	case mkNegWNF:
+		return mkNegW
+	case mkShlIWNF:
+		return mkShlIW
+	case mkShrIWNF:
+		return mkShrIW
+	case mkSarIWNF:
+		return mkSarIW
+	}
+	return k
+}
+
+// liveKind picks the variant of a full-flag base code for the given set of
+// live written flags: suppressed when empty, szp-only when the carry and
+// overflow outputs are dead (only the arithmetic codes, whose CF/OF cost
+// is separable, have one), the base code otherwise.
+func liveKind(base microKind, live x64.FlagSet) microKind {
+	if live == 0 {
+		switch base {
+		case mkAddRRW:
+			return mkAddRRWNF
+		case mkAddRIW:
+			return mkAddRIWNF
+		case mkSubRRW:
+			return mkSubRRWNF
+		case mkSubRIW:
+			return mkSubRIWNF
+		case mkAndRRW:
+			return mkAndRRWNF
+		case mkAndRIW:
+			return mkAndRIWNF
+		case mkOrRRW:
+			return mkOrRRWNF
+		case mkOrRIW:
+			return mkOrRIWNF
+		case mkXorRRW:
+			return mkXorRRWNF
+		case mkXorRIW:
+			return mkXorRIWNF
+		case mkZeroW:
+			return mkZeroWNF
+		case mkCmpRR:
+			return mkCmpRRNF
+		case mkCmpRI:
+			return mkCmpRINF
+		case mkTestRR:
+			return mkTestRRNF
+		case mkTestRI:
+			return mkTestRINF
+		case mkIncW:
+			return mkIncWNF
+		case mkDecW:
+			return mkDecWNF
+		case mkNegW:
+			return mkNegWNF
+		case mkShlIW:
+			return mkShlIWNF
+		case mkShrIW:
+			return mkShrIWNF
+		case mkSarIW:
+			return mkSarIWNF
+		}
+		return base
+	}
+	if live&(x64.CF|x64.OF) == 0 {
+		switch base {
+		case mkAddRRW:
+			return mkAddRRWZ
+		case mkAddRIW:
+			return mkAddRIWZ
+		case mkSubRRW:
+			return mkSubRRWZ
+		case mkSubRIW:
+			return mkSubRIWZ
+		case mkCmpRR:
+			return mkCmpRRZ
+		case mkCmpRI:
+			return mkCmpRIZ
+		}
+	}
+	return base
+}
+
+// FlagFreeSlots reports how many flag-writing slots the liveness pass
+// proved dead and suppressed — via a flag-suppressed dispatch code on the
+// inline shapes, via the nf bit on handler-dispatched ones — so
+// RunCompiled skips their flag computation and Flags/FlagsDef stores.
+// (Generic-fallback slots can be counted while still writing flags through
+// the interpreter switch; the tracked kernels compile with no fallback
+// slots, so their fractions are exact.)
+func (c *Compiled) FlagFreeSlots() int {
+	n := 0
+	for i := range c.ops {
+		if c.ops[i].nf {
+			n++
+		}
+	}
+	return n
+}
+
+// FlagWritingSlots reports how many slots write any flag at all, the
+// denominator of the flag-free fraction tracked by BENCH_eval.json.
+func (c *Compiled) FlagWritingSlots() int {
+	n := 0
+	for i := range c.flags {
+		if c.flags[i].write != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -20,7 +20,10 @@
 //     Machine.RunCompiled dispatches over that form. The MCMC search
 //     evaluates millions of candidates that differ in at most two slots
 //     from their predecessor, so Compiled supports O(1) slot patching
-//     instead of recompilation (see compile.go).
+//     instead of recompilation (see compile.go). A backward flag-liveness
+//     pass additionally suppresses the flag computation of slots whose
+//     writes no condition consumer or exit can observe, re-selecting
+//     variants incrementally as patches shift liveness (see liveness.go).
 //
 // Both forms agree on every observable (Outcome counters, registers, flags,
 // memory, definedness); randomized differential tests enforce this.
@@ -508,15 +511,11 @@ func (m *Machine) RegValue(r x64.Reg, width uint8) uint64 {
 func (m *Machine) effectiveAddr(o x64.Operand) uint64 {
 	var a uint64
 	if o.Base != x64.NoReg {
-		if m.RegDef&(1<<o.Base) == 0 {
-			m.undef++
-		}
+		m.undef += int(^m.RegDef >> o.Base & 1)
 		a += m.Regs[o.Base]
 	}
 	if o.Index != x64.NoReg {
-		if m.RegDef&(1<<o.Index) == 0 {
-			m.undef++
-		}
+		m.undef += int(^m.RegDef >> o.Index & 1)
 		a += m.Regs[o.Index] * uint64(o.Scale)
 	}
 	return a + uint64(int64(o.Disp))
@@ -540,11 +539,10 @@ func widthBits(w uint8) uint { return uint(w) * 8 }
 
 func signBit(w uint8) uint64 { return 1 << (widthBits(w) - 1) }
 
-// readGPR reads a register view, counting undefined reads.
+// readGPR reads a register view, counting undefined reads (branch-free:
+// definedness is data-dependent on the search workload and mispredicts).
 func (m *Machine) readGPR(r x64.Reg, w uint8) uint64 {
-	if m.RegDef&(1<<r) == 0 {
-		m.undef++
-	}
+	m.undef += int(^m.RegDef >> r & 1)
 	return m.Regs[r] & widthMask(w)
 }
 
@@ -560,14 +558,10 @@ func (m *Machine) writeGPR(r x64.Reg, w uint8, v uint64) {
 	case 4:
 		m.Regs[r] = v & 0xffffffff
 	case 2:
-		if m.RegDef&(1<<r) == 0 {
-			m.undef++
-		}
+		m.undef += int(^m.RegDef >> r & 1)
 		m.Regs[r] = m.Regs[r]&^uint64(0xffff) | v&0xffff
 	case 1:
-		if m.RegDef&(1<<r) == 0 {
-			m.undef++
-		}
+		m.undef += int(^m.RegDef >> r & 1)
 		m.Regs[r] = m.Regs[r]&^uint64(0xff) | v&0xff
 	}
 	m.RegDef |= 1 << r
@@ -601,9 +595,7 @@ func (m *Machine) writeOperand(o x64.Operand, v uint64) {
 
 // readXmm reads an XMM register, counting undefined reads.
 func (m *Machine) readXmm(r x64.Reg) [2]uint64 {
-	if m.XmmDef&(1<<r) == 0 {
-		m.undef++
-	}
+	m.undef += int(^m.XmmDef >> r & 1)
 	return m.Xmm[r]
 }
 

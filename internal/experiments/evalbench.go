@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/emu"
 	"repro/internal/kernels"
 	"repro/internal/mcmc"
 	"repro/internal/testgen"
@@ -39,6 +40,13 @@ type EvalBaseline struct {
 	// Speedups maps "kernel/ell=N" to compiled-over-interpreted
 	// proposals/sec.
 	Speedups map[string]float64 `json:"speedups"`
+
+	// FlagFree maps "kernel/ell=N" to the fraction of the padded start
+	// program's flag-writing slots the compile-time liveness pass proved
+	// dead and suppressed (emu.Compiled.FlagFreeSlots over
+	// FlagWritingSlots) — the static coverage of the dead-flag
+	// elimination on each tracked row.
+	FlagFree map[string]float64 `json:"flag_free"`
 }
 
 // evalConfigs are the measured profiles: the headline p01 ℓ=14/ℓ=50 pair
@@ -72,6 +80,7 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 		GOARCH:    runtime.GOARCH,
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		Speedups:  map[string]float64{},
+		FlagFree:  map[string]float64{},
 	}
 	for _, cfg := range evalConfigs {
 		bench, err := kernels.ByName(cfg.kernel)
@@ -116,7 +125,12 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 				ProposalsPerSec: rate,
 			})
 		}
-		base.Speedups[fmt.Sprintf("%s/ell=%d", label, cfg.ell)] = rates[1] / rates[0]
+		key := fmt.Sprintf("%s/ell=%d", label, cfg.ell)
+		base.Speedups[key] = rates[1] / rates[0]
+		comp := emu.Compile(startProg.PadTo(cfg.ell))
+		if w := comp.FlagWritingSlots(); w > 0 {
+			base.FlagFree[key] = float64(comp.FlagFreeSlots()) / float64(w)
+		}
 	}
 	return base, nil
 }

@@ -176,6 +176,10 @@ type Sampler struct {
 	// program each time the best cost drops (used to trace Figures 7/8).
 	OnImprove func(iter int64, c float64, p *x64.Program)
 
+	// liveIdx is liveSlot's scratch for the mutable-slot indices of the
+	// current candidate, reused across proposals.
+	liveIdx []int32
+
 	// OnStep, when set, is invoked every StepInterval proposals with the
 	// running statistics (used to trace Figure 5).
 	OnStep       func(s Stats, current float64)
@@ -435,11 +439,13 @@ func (cs *chainState) restartDue() bool {
 // the coin first and convert it into the maximum cost the proposal could be
 // accepted at, so the evaluator can stop as soon as it is exceeded.
 func (cs *chainState) bound() float64 {
-	b := cs.curCost
-	if p := cs.s.Rng.Float64(); p < 1 {
-		b = cs.curCost - math.Log(p)/cs.s.Params.Beta
-	}
-	return b
+	// -log(U)/β drawn directly from the exponential distribution: the
+	// ziggurat sampler takes one table lookup on the fast path where the
+	// uniform-then-log form paid a math.Log per proposal. (Same
+	// distribution, different consumption of the RNG stream, so
+	// fixed-seed trajectories differ from earlier releases but remain
+	// deterministic.)
+	return cs.curCost + cs.s.Rng.ExpFloat64()/cs.s.Params.Beta
 }
 
 // accept records an accepted proposal, with cur already holding the
@@ -540,7 +546,9 @@ func (r *Run) stepCompiled(ctx context.Context, end int64) {
 			s.Stats.Accepts++
 			continue
 		}
+		var saved [2]emu.SavedSlot
 		for k := 0; k < rec.n; k++ {
+			saved[k] = comp.SaveSlot(rec.idx[k])
 			comp.Patch(rec.idx[k])
 		}
 
@@ -552,12 +560,15 @@ func (r *Run) stepCompiled(ctx context.Context, end int64) {
 			// Accept: cur and comp already hold the proposal.
 			cs.accept(i, cur, res)
 		} else {
-			// Reject: restore the touched slots and re-patch them.
+			// Reject: restore the touched slots, then reinstate their
+			// saved compiled state — no re-lowering on the (majority)
+			// reject path. Reverse order, so a move that touched one slot
+			// twice lands on the first, pristine snapshot.
 			for k := 0; k < rec.n; k++ {
 				cur.Insts[rec.idx[k]] = rec.old[k]
 			}
-			for k := 0; k < rec.n; k++ {
-				comp.Patch(rec.idx[k])
+			for k := rec.n - 1; k >= 0; k-- {
+				comp.RestoreSlot(rec.idx[k], saved[k])
 			}
 		}
 
@@ -667,28 +678,23 @@ func mutableSlot(op x64.Opcode) bool {
 }
 
 // liveSlot picks a uniformly random non-UNUSED, non-LABEL, mutable
-// instruction slot: count the candidates, then draw once (one RNG call per
-// move instead of one per live slot).
+// instruction slot: collect the candidates in one pass over the ℓ slots,
+// then draw once (one RNG call per move instead of one per live slot, and
+// one sweep over the ~100-byte instruction records instead of two).
 func (s *Sampler) liveSlot(p *x64.Program) int {
-	n := 0
+	if cap(s.liveIdx) < len(p.Insts) {
+		s.liveIdx = make([]int32, len(p.Insts))
+	}
+	idx := s.liveIdx[:0]
 	for i := range p.Insts {
 		if mutableSlot(p.Insts[i].Op) {
-			n++
+			idx = append(idx, int32(i))
 		}
 	}
-	if n == 0 {
+	if len(idx) == 0 {
 		return -1
 	}
-	k := s.Rng.Intn(n)
-	for i := range p.Insts {
-		if mutableSlot(p.Insts[i].Op) {
-			if k == 0 {
-				return i
-			}
-			k--
-		}
-	}
-	return -1
+	return int(idx[s.Rng.Intn(len(idx))])
 }
 
 // moveOpcode replaces one instruction's opcode with a random opcode from

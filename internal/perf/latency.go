@@ -9,7 +9,11 @@ import "repro/internal/x64"
 
 // Latency returns the unitless average latency charged for one instruction.
 // Pseudo-ops are free; memory operands add a fixed access surcharge.
-func Latency(in x64.Inst) float64 {
+func Latency(in x64.Inst) float64 { return LatencyOf(&in) }
+
+// LatencyOf is Latency without the by-value instruction copy, for hot
+// per-slot callers (the compiled pipeline re-prices a slot on every patch).
+func LatencyOf(in *x64.Inst) float64 {
 	base := opLatency(in.Op)
 	if base == 0 {
 		return 0

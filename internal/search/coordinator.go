@@ -100,6 +100,15 @@ type Config struct {
 	ValidateEvery int
 	Validate      func(best *x64.Program) []testgen.Testcase
 
+	// IncumbentCost, when set, makes scheduled validation cost-aware: the
+	// SAT validator is only invoked when the pool head's modelled cost
+	// beats the current incumbent's (the best already-proven rewrite —
+	// initially the target, which is correct by construction). A pool
+	// head that could not displace the incumbent in the final re-ranking
+	// is not worth a proof; such rounds are counted as skipped
+	// validations instead of spending SAT time.
+	IncumbentCost func() float64
+
 	// OnSwap and OnPrune observe coordination decisions (event streams).
 	OnSwap  func(i, j int, ci, cj float64)
 	OnPrune func(i int, adopted float64)
@@ -128,10 +137,11 @@ type Coordinator struct {
 	lastBest []float64
 	stale    []int64
 
-	round  int64
-	swaps  int
-	prunes int
-	tests  int
+	round       int64
+	swaps       int
+	prunes      int
+	skippedVals int
+	tests       int
 }
 
 // New builds a coordinator over already-begun runs. All runs must share
@@ -198,6 +208,12 @@ func (c *Coordinator) barrier() {
 	c.prune()
 	if c.cfg.Validate != nil && c.cfg.ValidateEvery > 0 &&
 		c.round%int64(c.cfg.ValidateEvery) == 0 && len(c.pool) > 0 {
+		if c.cfg.IncumbentCost != nil && c.pool[0].Cost >= c.cfg.IncumbentCost() {
+			// Cost-aware gate: the pool head cannot beat the proven
+			// incumbent, so a proof would be wasted SAT time.
+			c.skippedVals++
+			return
+		}
 		if tcs := c.cfg.Validate(c.pool[0].Prog); len(tcs) > 0 {
 			c.broadcast(tcs)
 		}
@@ -340,6 +356,10 @@ func (c *Coordinator) Swaps() int { return c.swaps }
 
 // Prunes reports shared-best reseeds of stagnant chains.
 func (c *Coordinator) Prunes() int { return c.prunes }
+
+// SkippedValidations reports scheduled validation rounds skipped by the
+// cost-aware gate (pool head no better than the proven incumbent).
+func (c *Coordinator) SkippedValidations() int { return c.skippedVals }
 
 // Ladder builds the default β ladder for n replicas: a mostly-cold shape
 // with the leading replicas at the phase's base β (matching the paper's

@@ -196,6 +196,85 @@ func TestBroadcastRefinesEveryChain(t *testing.T) {
 	}
 }
 
+// TestCostAwareValidationGate: with IncumbentCost set, scheduled
+// validation rounds only invoke the validator when the pool head's
+// modelled cost beats the incumbent's; gated rounds count as skipped.
+func TestCostAwareValidationGate(t *testing.T) {
+	f := newFixture(t)
+
+	// An unbeatable incumbent (cost 0): every scheduled round is gated,
+	// the validator never runs.
+	fired := 0
+	c := New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate: func(best *x64.Program) []testgen.Testcase {
+			fired++
+			return nil
+		},
+		IncumbentCost: func() float64 { return 0 },
+	}, f.runs(2, 11, 6000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if fired != 0 {
+		t.Fatalf("validator fired %d times against an unbeatable incumbent", fired)
+	}
+	if c.SkippedValidations() == 0 {
+		t.Fatal("no skipped validations counted")
+	}
+
+	// A hopeless incumbent: every scheduled round with a non-empty pool
+	// validates, none are skipped — same behaviour as before the gate.
+	fired = 0
+	c = New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate: func(best *x64.Program) []testgen.Testcase {
+			fired++
+			return nil
+		},
+		IncumbentCost: func() float64 { return math.Inf(1) },
+	}, f.runs(2, 11, 6000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if fired == 0 {
+		t.Fatal("validator never fired against a hopeless incumbent")
+	}
+	if c.SkippedValidations() != 0 {
+		t.Fatalf("%d validations skipped against a hopeless incumbent", c.SkippedValidations())
+	}
+
+	// The gate reopens when the incumbent worsens relative to the pool:
+	// start unbeatable, then hand the win to the pool head mid-run.
+	fired = 0
+	incumbent := 0.0
+	c = New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate: func(best *x64.Program) []testgen.Testcase {
+			fired++
+			return nil
+		},
+		IncumbentCost: func() float64 { return incumbent },
+	}, f.runs(2, 11, 6000, nil))
+	gateOpened := false
+	c.cfg.OnSwap = nil // (documenting: no coordination side effects needed)
+	c.Drive(context.Background(), func(bodies []func()) {
+		serialBatch(bodies)
+		if !gateOpened && c.SkippedValidations() > 0 {
+			incumbent = math.Inf(1)
+			gateOpened = true
+		}
+	})
+	if !gateOpened || fired == 0 {
+		t.Fatalf("gate never reopened: opened=%v fired=%d", gateOpened, fired)
+	}
+}
+
 // TestCancellationDrainsWithoutDeadlock cancels mid-run under a
 // pool-like batch executor and requires Drive to return promptly with
 // harvestable results — the mid-swap cancellation contract.

@@ -84,6 +84,7 @@ const (
 	FzLabel
 	FzJmp
 	FzRet
+	FzIncDec // inc/dec/neg/not: the partial- and no-flag-write unary family
 	fzMenuLen
 )
 
@@ -277,6 +278,12 @@ func decodeFuzzInst(menu byte, a [4]byte) x64.Inst {
 		return x64.MakeInst(x64.JMP, x64.LabelRef(int32(a[0]%4)))
 	case FzRet:
 		return x64.MakeInst(x64.RET)
+	case FzIncDec:
+		// The unary family with partial flag writes (inc/dec preserve CF)
+		// and none at all (not) — the kill-set edges of the compiled
+		// pipeline's flag-liveness pass.
+		ops := [4]x64.Opcode{x64.INC, x64.DEC, x64.NEG, x64.NOT}
+		return x64.MakeInst(ops[a[0]%4], x64.R(fzR(a[2]), fzWAll(a[1])))
 	}
 	return x64.Unused()
 }

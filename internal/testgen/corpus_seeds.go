@@ -181,6 +181,61 @@ func SeedCorpus() []Seed {
 			fzEdit(9, fzSlot(FzDiv, 0, rsiReg)),
 			fzSwap(9, 0),
 		),
+		// Liveness edges of the dead-flag elimination pass. Carry chain:
+		// every CF must stay live into its adc consumer, and the edit that
+		// turns the tail adc into a xor-zero kill flips the head add dead.
+		seed("flags-adc-carry-chain", pad,
+			[][]byte{
+				fzSlot(FzALU, 0, 3, 0, 6), // addq rsi, rax (CF → adc)
+				fzSlot(FzALU, 5, 3, 2, 1), // adcq rcx, rdx
+				fzSlot(FzALU, 5, 3, 0, 1), // adcq rcx, rax
+			},
+			fzEdit(2, fzSlot(FzALU, 4, 3, 2, 2)), // xorq rdx, rdx: kill
+			fzEdit(2, fzSlot(FzALU, 5, 3, 0, 1)), // adc back: re-liven
+		),
+		// inc writes PF|ZF|SF|OF but preserves CF: the cmp's carry must
+		// stay live across it into the adc, while the inc's own writes are
+		// dead; edits interpose a full kill and a no-flag not.
+		seed("flags-inc-preserves-cf", pad,
+			[][]byte{
+				fzSlot(FzCmpTest, 0, 0, 7, 6), // cmpq rsi, rdi
+				fzSlot(FzIncDec, 0, 3, 0),     // incq rax (CF untouched)
+				fzSlot(FzALU, 5, 3, 1, 1),     // adcq rcx, rcx (reads CF)
+			},
+			fzEdit(1, fzSlot(FzIncDec, 3, 3, 0)), // notq rax: no flags at all
+			fzEdit(1, fzSlot(FzALU, 4, 3, 5, 5)), // xorq rbp, rbp: kills CF
+		),
+		// A conditional jump whose successors disagree: the taken path
+		// reaches a setcc with the cmp's flags live, the fall-through
+		// kills them first — live-out of the cmp is the union.
+		seed("flags-jcc-successors-disagree", pad,
+			[][]byte{
+				fzSlot(FzCmpTest, 0, 0, 7, 6), // cmpq rsi, rdi
+				fzSlot(FzJcc, 0, 1),           // jcc .L1
+				fzSlot(FzALU, 4, 3, 2, 2),     // xorq rdx, rdx: kill path
+				fzSlot(FzLabel, 1),
+				fzSlot(FzCmpTest, 2, 0, 1, 3), // setcc cl: live path
+			},
+			fzEdit(1, fzSlot(FzUnused)),    // delete the jump: relink, one path
+			fzEdit(1, fzSlot(FzJcc, 0, 1)), // and re-create it
+		),
+		// Flags live across an UNUSED-padding run, with edits that drop a
+		// kill into the padding, take it back out, and force a relink
+		// while the producer's liveness depends on slots beyond the gap.
+		seed("flags-live-across-padding", pad,
+			[][]byte{
+				fzSlot(FzCmpTest, 0, 0, 7, 6), // cmpq rsi, rdi
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzUnused),
+				fzSlot(FzCmpTest, 2, 0, 1, 3), // setcc cl
+			},
+			fzEdit(2, fzSlot(FzALU, 4, 3, 2, 2)), // kill inside the padding
+			fzEdit(2, fzSlot(FzUnused)),          // and remove it again
+			fzEdit(3, fzSlot(FzJcc, 0, 2)),       // relink across the gap
+			fzEdit(3, fzSlot(FzUnused)),
+		),
 		// Control structure under patching: a conditional crossing a label,
 		// edits that delete and re-create the jump (full relink path).
 		seed("patch-control-relink", pad,

@@ -123,6 +123,51 @@ func TestSeedCorpusCoversPaddingAndRelink(t *testing.T) {
 	}
 }
 
+// TestSeedCorpusCoversLivenessEdges: the dead-flag-elimination seeds must
+// decode to the dataflow shapes they are named for — carry chains, the
+// partial-kill inc, disagreeing branch successors, and liveness flowing
+// across UNUSED padding under relink edits.
+func TestSeedCorpusCoversLivenessEdges(t *testing.T) {
+	fc := seedByName(t, "flags-adc-carry-chain")
+	if fc.Prog.Insts[0].Op != x64.ADD || fc.Prog.Insts[1].Op != x64.ADC || fc.Prog.Insts[2].Op != x64.ADC {
+		t.Fatalf("carry-chain seed decodes to:\n%s", fc.Prog)
+	}
+	if e := fc.Edits[0]; e.With.Op != x64.XOR || e.With.Opd[0].Reg != e.With.Opd[1].Reg {
+		t.Fatalf("carry-chain edit 0 = %+v, want the xor-zero kill", e.With)
+	}
+
+	fc = seedByName(t, "flags-inc-preserves-cf")
+	if fc.Prog.Insts[0].Op != x64.CMP || fc.Prog.Insts[1].Op != x64.INC || fc.Prog.Insts[2].Op != x64.ADC {
+		t.Fatalf("inc-preserves-cf seed decodes to:\n%s", fc.Prog)
+	}
+	if fc.Edits[0].With.Op != x64.NOT {
+		t.Fatalf("inc-preserves-cf edit 0 = %v, want a flagless not", fc.Edits[0].With)
+	}
+
+	fc = seedByName(t, "flags-jcc-successors-disagree")
+	if fc.Prog.Insts[1].Op != x64.Jcc || fc.Prog.Insts[2].Op != x64.XOR ||
+		fc.Prog.Insts[3].Op != x64.LABEL || fc.Prog.Insts[4].Op != x64.SETcc {
+		t.Fatalf("jcc-disagree seed decodes to:\n%s", fc.Prog)
+	}
+	if e := fc.Edits[0]; e.Slot != 1 || e.With.Op != x64.UNUSED {
+		t.Fatalf("jcc-disagree edit 0 = %+v, want the jump deleted", e)
+	}
+
+	fc = seedByName(t, "flags-live-across-padding")
+	unused := 0
+	for _, in := range fc.Prog.Insts {
+		if in.Op == x64.UNUSED {
+			unused++
+		}
+	}
+	if fc.Prog.Insts[0].Op != x64.CMP || fc.Prog.Insts[5].Op != x64.SETcc || unused != 4 {
+		t.Fatalf("padding seed decodes to:\n%s", fc.Prog)
+	}
+	if len(fc.Edits) != 4 || fc.Edits[2].With.Op != x64.Jcc {
+		t.Fatalf("padding seed edits = %+v, want 4 with a relinking jcc", fc.Edits)
+	}
+}
+
 // TestDecodeFuzzCaseTotal: arbitrary and empty inputs must decode without
 // panicking into runnable scenarios.
 func TestDecodeFuzzCaseTotal(t *testing.T) {

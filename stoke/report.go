@@ -48,6 +48,12 @@ type Report struct {
 	// global best. Both are zero when tempering is disabled.
 	Swaps, Prunes int
 
+	// SkippedValidations counts scheduled mid-search validation rounds
+	// the cost-aware gate skipped because the candidate pool's head could
+	// not beat the proven incumbent's modelled cost — SAT time the run
+	// did not spend.
+	SkippedValidations int
+
 	Stats mcmc.Stats
 	Tests int
 }

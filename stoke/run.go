@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/emu"
 	"repro/internal/mcmc"
+	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/search"
 	"repro/internal/testgen"
@@ -173,6 +174,20 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	// testcases, so stale candidates are safe to carry).
 	var allCandidates []*x64.Program
 
+	// incumbentH is the modelled cost (Equation 13 latency sum — what an
+	// eq-zero pool entry's search cost reduces to in the optimization
+	// phase, whose chains run at perfWeight 1; the gate below is only
+	// wired for that phase) of the best candidate proven Equal so far;
+	// the target, correct by construction, seeds it. The coordinator's
+	// cost-aware validation gate only spends SAT time on pool heads that
+	// strictly beat it: a tie is gated deliberately — equal-cost
+	// candidates cannot displace the incumbent in the final re-ranking,
+	// and proving them mid-search is exactly the SAT waste the gate
+	// exists to avoid. Their verdicts (and any counterexample broadcast
+	// they would have triggered) wait for the end-of-round validation
+	// loop, which is gated only by the verdict cache.
+	incumbentH := perf.H(k.Target)
+
 	// validated caches concluded verdicts per candidate listing, shared by
 	// the mid-search validator and the end-of-round validation loop, so a
 	// candidate proven Equal at a barrier never pays for a second proof.
@@ -222,6 +237,11 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				Round: round, Verdict: res.Verdict})
 			if res.Verdict != verify.NotEqual {
 				validated[key] = res.Verdict
+				if res.Verdict == verify.Equal {
+					if h := perf.H(cand); h < incumbentH {
+						incumbentH = h
+					}
+				}
 				return nil
 			}
 			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, cand)
@@ -278,6 +298,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		if st.maxRefinements > 0 {
 			cfg.ValidateEvery = midValidateEvery
 			cfg.Validate = midValidate
+			cfg.IncumbentCost = func() float64 { return incumbentH }
 		}
 		optCoord := search.New(cfg, optRuns)
 		optCoord.Drive(ctx, func(bodies []func()) {
@@ -285,6 +306,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		})
 		rep.Swaps += optCoord.Swaps()
 		rep.Prunes += optCoord.Prunes()
+		rep.SkippedValidations += optCoord.SkippedValidations()
 		optResults := optCoord.Results()
 		poolCands := optCoord.Pool()
 		chainSeed += int64(nChains) + 7
@@ -371,6 +393,11 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 			e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
 				Round: round, Verdict: res.Verdict})
 			if res.Verdict != verify.NotEqual {
+				if res.Verdict == verify.Equal {
+					if h := perf.H(best); h < incumbentH {
+						incumbentH = h
+					}
+				}
 				break
 			}
 			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, best)
