@@ -7,6 +7,7 @@
 //	stoke-bench -profile full   # larger search budgets
 //	stoke-bench -eval-baseline BENCH_eval.json     # evaluation throughput A/B
 //	stoke-bench -search-baseline BENCH_search.json # tempering vs independent A/B
+//	stoke-bench -cache-baseline BENCH_search.json  # rewrite-store cold vs served hit
 //
 // Output is plain text, one section per figure, written to stdout.
 package main
@@ -36,6 +37,10 @@ func main() {
 		searchChains  = flag.Int("search-chains", 4, "synthesis chains per search-baseline run")
 		searchProp    = flag.Int64("search-proposals", 150000, "per-chain proposal budget per search-baseline run")
 		searchEll     = flag.Int("search-ell", 20, "sequence length for search-baseline runs")
+
+		cacheOut     = flag.String("cache-baseline", "", "fold the rewrite-store baseline (cold search vs served cache hit) into this search-baseline JSON and exit")
+		cacheKernels = flag.String("cache-kernels", strings.Join(experiments.DefaultCacheKernels, ","), "comma-separated kernels for -cache-baseline")
+		cacheHits    = flag.Int("cache-hits", 20, "served resubmissions measured per -cache-baseline kernel")
 	)
 	flag.Parse()
 
@@ -82,6 +87,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatSearchBaseline(base))
+		return
+	}
+
+	// The rewrite-store baseline measures what the content-addressed cache
+	// buys: cold proving cost against served hit latency, recorded as the
+	// cache_runs rows of BENCH_search.json.
+	if *cacheOut != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
+		names := strings.Split(*cacheKernels, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		runs, err := experiments.WriteCacheBaseline(ctx, *cacheOut, names, *cacheHits)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatCacheBaseline(runs))
 		return
 	}
 

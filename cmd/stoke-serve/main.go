@@ -1,0 +1,118 @@
+// Command stoke-serve runs the superoptimizer as a service: an HTTP/JSON
+// job API over an async search queue, fronted by the persistent
+// content-addressed rewrite store, so the second submitter of any
+// α-equivalent kernel gets the proven rewrite back in microseconds
+// instead of minutes.
+//
+// Usage:
+//
+//	stoke-serve                                  # :8080, store in ./rewrites.jsonl
+//	stoke-serve -addr :9090 -store /var/lib/stoke/rewrites.jsonl
+//	stoke-serve -workers 4 -per-tenant 2 -profile full
+//
+// Submit a kernel and poll it:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "kernel": {
+//	    "name": "add",
+//	    "target": "movq rdi, rax\naddq rsi, rax",
+//	    "inputs": ["rdi", "rsi"],
+//	    "outputs": ["rax"]
+//	  }
+//	}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -N  localhost:8080/v1/jobs/job-1/events   # SSE engine events
+//	curl -s  localhost:8080/statsz                 # cache + job counters
+//
+// Resubmitting the same kernel — or any register-renamed variant of it —
+// answers synchronously from the store with status "done" and
+// "cache_hit": true.
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are refused, running
+// searches stop and complete their jobs with best-so-far partial reports,
+// and the store is compacted on close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/stoke"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		storePath = flag.String("store", "rewrites.jsonl", "rewrite store path (empty = in-memory only)")
+		storeCap  = flag.Int("store-cap", store.DefaultCap, "in-memory LRU capacity of the store")
+		workers   = flag.Int("workers", 2, "concurrent search jobs")
+		queue     = flag.Int("queue", 64, "queued job limit")
+		perTenant = flag.Int("per-tenant", 1, "concurrent running jobs per tenant (X-Tenant header)")
+		profile   = flag.String("profile", "quick", "default search budget profile (quick or full)")
+		engineW   = flag.Int("engine-workers", 0, "search chain workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "stoke-serve:", err)
+		os.Exit(1)
+	}
+
+	prof, err := stoke.ProfileByName(*profile)
+	if err != nil {
+		fail(err)
+	}
+	st, err := store.Open(*storePath, *storeCap)
+	if err != nil {
+		fail(err)
+	}
+	engine := stoke.NewEngine(stoke.EngineConfig{Workers: *engineW})
+
+	srv := server.New(server.Config{
+		Engine:     engine,
+		Store:      st,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		PerTenant:  *perTenant,
+		Options:    []stoke.Option{stoke.WithProfile(prof)},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("stoke-serve: %v", err)
+		}
+	}()
+	log.Printf("stoke-serve: listening on %s (store %q, %d workers)",
+		ln.Addr(), *storePath, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("stoke-serve: draining")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("stoke-serve: drain: %v", err)
+	}
+	_ = httpSrv.Shutdown(ctx)
+	engine.Close()
+	if err := st.Close(); err != nil {
+		log.Printf("stoke-serve: store close: %v", err)
+	}
+}

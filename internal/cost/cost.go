@@ -105,6 +105,37 @@ func (p *SharedProfile) Order(n int) []int {
 	return order
 }
 
+// Counts snapshots the per-testcase counters — the stable serialisation of
+// a profile, so a learned rejection profile can persist across processes
+// (the rewrite store saves it with each entry and warm-starts later
+// searches from it). Like Order and Grow it must only be called at a
+// barrier, when no chain is mid-segment.
+func (p *SharedProfile) Counts() []int64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]int64, len(p.counts))
+	for i := range p.counts {
+		out[i] = p.counts[i].Load()
+	}
+	return out
+}
+
+// NewSharedProfileFromCounts rebuilds a profile from a Counts snapshot,
+// sized to at least n testcases. A rebuilt profile reproduces the same
+// Order as the one it was snapshotted from: Order is a pure (stable) sort
+// of the counters, so equal counters mean equal warm-start testcase order.
+func NewSharedProfileFromCounts(counts []int64, n int) *SharedProfile {
+	if n < len(counts) {
+		n = len(counts)
+	}
+	p := &SharedProfile{counts: make([]atomic.Int64, n)}
+	for i, c := range counts {
+		p.counts[i].Store(c)
+	}
+	return p
+}
+
 // Mode selects between the strict register/memory equality of Equations
 // 9-10 and the improved "right value, wrong place" metric of Equation 15
 // (§4.6, the ablation of Figure 7).

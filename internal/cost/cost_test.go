@@ -456,3 +456,45 @@ func TestAddTestEvaluatesFirst(t *testing.T) {
 		t.Fatalf("extended order broke a correct rewrite: %+v", res)
 	}
 }
+
+// TestSharedProfileSerialisationRoundTrip: a profile rebuilt from its
+// Counts snapshot must reproduce the same warm-start testcase order in
+// another process — the property the rewrite store relies on when it
+// persists learned rejection profiles.
+func TestSharedProfileSerialisationRoundTrip(t *testing.T) {
+	prof := NewSharedProfile(10)
+	// An uneven, tie-containing pattern: ties must keep natural order on
+	// both sides of the round trip (Order is a stable sort).
+	hits := []int{3, 3, 3, 7, 7, 1, 9, 9, 9, 9, 5, 5}
+	for _, i := range hits {
+		prof.Note(i)
+	}
+	counts := prof.Counts()
+	if len(counts) != 10 {
+		t.Fatalf("Counts length %d, want 10", len(counts))
+	}
+
+	restored := NewSharedProfileFromCounts(counts, 10)
+	want := prof.Order(10)
+	got := restored.Order(10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored order %v != original %v", got, want)
+		}
+	}
+
+	// Restoring into a larger testcase set: the extra testcases count as
+	// zero and keep natural order behind the learned ones.
+	grown := NewSharedProfileFromCounts(counts, 14)
+	order := grown.Order(14)
+	if order[0] != 9 || order[1] != 3 || order[2] != 5 {
+		t.Fatalf("grown order lost learned prefix: %v", order)
+	}
+	// A restored profile stays live: further Notes keep accumulating.
+	for i := 0; i < 8; i++ {
+		grown.Note(12)
+	}
+	if got := grown.Order(14)[0]; got != 12 {
+		t.Fatalf("restored profile ignored new notes: first=%d", got)
+	}
+}

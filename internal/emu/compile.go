@@ -1460,7 +1460,21 @@ func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 // single masked write (putFlags), which the interpreter's per-flag setFlag
 // calls are the reference for.
 
-func hGeneric(m *Machine, u *microOp) { m.generic++; m.exec(u.in) }
+func hGeneric(m *Machine, u *microOp) {
+	m.generic++
+	if !u.nf {
+		m.exec(u.in)
+		return
+	}
+	// The liveness pass proved every flag this slot writes dead, but the
+	// interpreter switch underneath always writes. Restoring the flag
+	// words afterwards suppresses exactly those dead writes: in-exec flag
+	// *reads* (ADC, RCL, ...) see the pre-exec values untouched, and their
+	// undef accounting happens inside exec before the restore.
+	flags, def := m.Flags, m.FlagsDef
+	m.exec(u.in)
+	m.Flags, m.FlagsDef = flags, def
+}
 
 func (m *Machine) readReg(r x64.Reg, mask uint64) uint64 {
 	// Branch-free undef accounting: whether a slot reads a defined

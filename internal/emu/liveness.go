@@ -175,9 +175,9 @@ func (c *Compiled) applyLiveness(i int) {
 	// The nf bit suppresses the flag store of handler-dispatched slots —
 	// the shapes without an inline variant code (narrow widths, memory
 	// sources, CL shifts, the mul/div families): every specialised
-	// flag-writing handler guards its putFlags on it. Generic-fallback
-	// slots ignore it (the interpreter switch always writes), which only
-	// costs the suppression, never correctness.
+	// flag-writing handler guards its putFlags on it, and the generic
+	// fallback honours it by restoring the flag words around the
+	// interpreter switch (hGeneric).
 	u.nf = live == 0
 }
 
@@ -304,11 +304,10 @@ func liveKind(base microKind, live x64.FlagSet) microKind {
 
 // FlagFreeSlots reports how many flag-writing slots the liveness pass
 // proved dead and suppressed — via a flag-suppressed dispatch code on the
-// inline shapes, via the nf bit on handler-dispatched ones — so
-// RunCompiled skips their flag computation and Flags/FlagsDef stores.
-// (Generic-fallback slots can be counted while still writing flags through
-// the interpreter switch; the tracked kernels compile with no fallback
-// slots, so their fractions are exact.)
+// inline shapes, via the nf bit on handler-dispatched ones (including the
+// generic fallback, which restores the flag words around the interpreter
+// switch) — so RunCompiled skips their flag computation and
+// Flags/FlagsDef stores.
 func (c *Compiled) FlagFreeSlots() int {
 	n := 0
 	for i := range c.ops {

@@ -369,3 +369,37 @@ func TestFlagFreeFractionOnTrackedKernels(t *testing.T) {
 		t.Logf("%s: %d/%d flag-writing slots flag-free", name, free, writers)
 	}
 }
+
+// TestLivenessGenericFallback: memory-destination ALU forms have no inline
+// lowering and dispatch through the generic interpreter fallback. The
+// fallback must honour the nf bit like every specialised handler — dead
+// flag writes are suppressed by restoring the flag words around the
+// interpreter switch — while flag *reads* inside the switch (adc) still
+// see the incoming values, and live flag writes still land.
+func TestLivenessGenericFallback(t *testing.T) {
+	// Dead flags: the trailing cmp redefines everything the add writes.
+	c := runDifferential(t, "addq rsi, -8(rsp)\ncmpq rdx, rcx", 400)
+	if got := c.FallbackSlots(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("memory-destination add must dispatch generically, fallback slots %v", got)
+	}
+	if n := c.FlagFreeSlots(); n != 1 {
+		t.Errorf("dead generic-fallback flags: %d flag-free slots, want 1", n)
+	}
+
+	// Live flags: a setb consumer pins the add; nothing may be suppressed.
+	c = runDifferential(t, "addq rsi, -8(rsp)\nsetb al\ncmpq rdx, rcx", 400)
+	if n := c.FlagFreeSlots(); n != 0 {
+		t.Errorf("live generic-fallback flags: %d flag-free slots, want 0", n)
+	}
+
+	// A flag-reading generic shape under suppression: the adc's CF read
+	// must see the head cmp's carry even though the adc's own writes are
+	// suppressed and then redefined.
+	c = runDifferential(t, "cmpq rsi, rdi\nadcq rdx, -16(rsp)\nxorq rcx, rcx", 400)
+	if got := c.FallbackSlots(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("memory-destination adc must dispatch generically, fallback slots %v", got)
+	}
+	if n := c.FlagFreeSlots(); n != 1 {
+		t.Errorf("dead adc writes: %d flag-free slots, want 1 (its CF read pins the cmp)", n)
+	}
+}

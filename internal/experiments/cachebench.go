@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/store"
+	"repro/stoke"
+)
+
+// CacheRun is one measured kernel of the rewrite-store baseline: the cold
+// cost of proving the kernel by search against the served cost of a
+// content-addressed cache hit, plus the store's hit/miss counters.
+type CacheRun struct {
+	Kernel string `json:"kernel"`
+
+	// ColdMS is the wall-clock of the populating run: search, validation
+	// and store write-back.
+	ColdMS float64 `json:"cold_ms"`
+
+	// Hits is the number of resubmissions served from the store; HitMeanUS
+	// is their mean wall-clock (revalidation included) in microseconds.
+	Hits      int     `json:"hits"`
+	HitMeanUS float64 `json:"hit_mean_us"`
+
+	// SpeedupX is ColdMS over the mean hit latency — what serving a proven
+	// rewrite saves over re-searching for it.
+	SpeedupX float64 `json:"speedup_x"`
+
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+}
+
+// DefaultCacheKernels are the cache-baseline profiles: small suite kernels
+// whose optimization-only runs complete in seconds.
+var DefaultCacheKernels = []string{"p01", "p09"}
+
+// MeasureCacheBaseline populates a fresh in-memory store with an
+// optimization-only run per kernel, then resubmits each kernel `hits`
+// times and measures the served latency.
+func MeasureCacheBaseline(ctx context.Context, names []string, hits int) ([]CacheRun, error) {
+	e := stoke.NewEngine(stoke.EngineConfig{})
+	defer e.Close()
+
+	var out []CacheRun
+	for _, name := range names {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := store.Open("", store.DefaultCap)
+		if err != nil {
+			return nil, err
+		}
+		opts := []stoke.Option{
+			stoke.WithRewriteStore(s),
+			stoke.WithSeed(1),
+			stoke.WithChains(0, 2), // optimization-only: always completes verified
+			stoke.WithBudgets(1, 40000),
+			stoke.WithEll(16),
+		}
+		run := CacheRun{Kernel: name, Hits: hits}
+
+		start := time.Now()
+		rep, err := e.Optimize(ctx, b.Kernel, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("cache baseline %s: cold run: %w", name, err)
+		}
+		run.ColdMS = float64(time.Since(start).Microseconds()) / 1e3
+		if rep.CacheHit {
+			return nil, fmt.Errorf("cache baseline %s: cold run hit a fresh store", name)
+		}
+
+		var totalUS float64
+		for i := 0; i < hits; i++ {
+			start = time.Now()
+			rep, err = e.Optimize(ctx, b.Kernel, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("cache baseline %s: hit %d: %w", name, i, err)
+			}
+			if !rep.CacheHit {
+				return nil, fmt.Errorf("cache baseline %s: resubmission %d missed", name, i)
+			}
+			totalUS += float64(time.Since(start).Microseconds())
+		}
+		if hits > 0 {
+			run.HitMeanUS = totalUS / float64(hits)
+			run.SpeedupX = run.ColdMS * 1e3 / run.HitMeanUS
+		}
+		st := s.Stats()
+		run.StoreHits, run.StoreMisses = st.Hits, st.Misses
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// WriteCacheBaseline measures the cache baseline and folds the rows into
+// the search-baseline JSON at path (created if absent, other sections
+// preserved otherwise).
+func WriteCacheBaseline(ctx context.Context, path string, names []string, hits int) ([]CacheRun, error) {
+	runs, err := MeasureCacheBaseline(ctx, names, hits)
+	if err != nil {
+		return nil, err
+	}
+	var base SearchBaseline
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &base); err != nil {
+			return nil, fmt.Errorf("cache baseline: existing %s is not a search baseline: %w", path, err)
+		}
+	}
+	base.Cache = runs
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	return runs, os.WriteFile(path, data, 0o644)
+}
+
+// FormatCacheBaseline renders the cache rows as the table stoke-bench
+// prints alongside the JSON.
+func FormatCacheBaseline(runs []CacheRun) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "%-5s cold %8.1fms  hit mean %8.0fus over %d  speedup %8.0fx  store %d/%d hit/miss\n",
+			r.Kernel, r.ColdMS, r.HitMeanUS, r.Hits, r.SpeedupX, r.StoreHits, r.StoreMisses)
+	}
+	return sb.String()
+}

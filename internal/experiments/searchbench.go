@@ -53,6 +53,10 @@ type SearchBaseline struct {
 	// hit-rate, on mean proposals to zero cost.
 	TemperingWins map[string]bool `json:"tempering_wins"`
 	WinCount      int             `json:"win_count"`
+
+	// Cache holds the rewrite-store baseline: cold search cost versus
+	// served cache-hit latency per kernel (see cachebench.go).
+	Cache []CacheRun `json:"cache_runs,omitempty"`
 }
 
 // DefaultSearchKernels are the measured profiles: three synthesis

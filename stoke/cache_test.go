@@ -1,0 +1,260 @@
+package stoke
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/store"
+	"repro/internal/testgen"
+	"repro/internal/verify"
+	"repro/internal/x64"
+)
+
+// renamedAddKernel is addKernel under the α-renaming rdi→r8, rsi→r9,
+// rax→rbx: the same kernel to the canonicaliser, a different program
+// textually.
+func renamedAddKernel() Kernel {
+	return Kernel{
+		Name: "add-renamed",
+		Target: x64.MustParse(`
+  movq r8, -8(rsp)
+  movq r9, -16(rsp)
+  movq -8(rsp), rbx
+  addq -16(rsp), rbx
+`),
+		Spec: testgen.Spec{
+			BuildInput: func(rng *rand.Rand) *emu.Snapshot {
+				a := testgen.NewArena(0x10000)
+				a.AllocStack(256)
+				a.SetReg(x64.R8, rng.Uint64())
+				a.SetReg(x64.R9, rng.Uint64())
+				return a.Snapshot()
+			},
+			LiveOut: testgen.LiveSet{GPRs: []testgen.LiveReg{{Reg: x64.RBX, Width: 8}}},
+		},
+		Pointers: x64.RegSet(0).With(x64.RSP),
+	}
+}
+
+// TestCacheHitEndToEnd is the tentpole's acceptance test: the same kernel
+// submitted twice hits the store on the second request (served without
+// launching a search), and an α-renamed variant hits too.
+func TestCacheHitEndToEnd(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "rewrites.jsonl"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{Workers: 4})
+	defer e.Close()
+	opts := []Option{
+		WithRewriteStore(s),
+		WithSeed(11),
+		WithChains(2, 2),
+		WithBudgets(60000, 60000),
+		WithEll(12),
+	}
+
+	// First submission: cold store, a real search runs and writes back.
+	rep1, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CacheHit {
+		t.Fatal("first submission cannot be a cache hit")
+	}
+	if rep1.Fingerprint == "" {
+		t.Fatal("store-backed run must report its fingerprint")
+	}
+	if got := e.SearchesLaunched(); got != 1 {
+		t.Fatalf("searches launched %d, want 1", got)
+	}
+	if s.Len() == 0 {
+		t.Fatal("verified run was not written back to the store")
+	}
+
+	// Second submission of the identical kernel: served from the store.
+	rep2, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.CacheHit {
+		t.Fatal("identical resubmission must hit the store")
+	}
+	if got := e.SearchesLaunched(); got != 1 {
+		t.Fatalf("cache hit launched a search: count %d, want 1", got)
+	}
+	if rep2.Verdict != verify.Equal {
+		t.Fatalf("served verdict %v, want equal", rep2.Verdict)
+	}
+	if rep2.Fingerprint != rep1.Fingerprint {
+		t.Fatalf("fingerprints differ across identical submissions")
+	}
+	if rep2.Rewrite.String() != rep1.Rewrite.String() {
+		t.Fatalf("served rewrite differs from the proven one:\n%s\nvs\n%s",
+			rep2.Rewrite, rep1.Rewrite)
+	}
+
+	// α-renamed variant: same fingerprint class, exact-key hit, rewrite
+	// mapped back into ITS register space and proven there.
+	k3 := renamedAddKernel()
+	rep3, err := e.Optimize(context.Background(), k3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.CacheHit {
+		t.Fatal("α-renamed variant must hit the store")
+	}
+	if got := e.SearchesLaunched(); got != 1 {
+		t.Fatalf("renamed hit launched a search: count %d, want 1", got)
+	}
+	if rep3.Fingerprint != rep1.Fingerprint {
+		t.Fatal("α-equivalent kernels must share a fingerprint")
+	}
+	// The served rewrite must be correct in the renamed space: prove it.
+	res := verify.Equivalent(context.Background(), k3.Target, rep3.Rewrite,
+		liveOutFor(k3), verify.DefaultConfig)
+	if res.Verdict != verify.Equal {
+		t.Fatalf("served renamed rewrite failed validation (%v):\n%s",
+			res.Verdict, rep3.Rewrite)
+	}
+}
+
+// TestCacheOnly: the synchronous probe path answers hits and fails misses
+// with ErrCacheMiss without ever searching.
+func TestCacheOnly(t *testing.T) {
+	s, _ := store.Open("", 16)
+	e := NewEngine(EngineConfig{Workers: 2})
+	defer e.Close()
+
+	_, err := e.Optimize(context.Background(), addKernel(),
+		WithRewriteStore(s), WithCacheOnly())
+	if !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("cold cache-only probe: err %v, want ErrCacheMiss", err)
+	}
+	if got := e.SearchesLaunched(); got != 0 {
+		t.Fatalf("cache-only probe launched %d searches", got)
+	}
+
+	// Fill the store with a real run, then probe again.
+	if _, err := e.Optimize(context.Background(), addKernel(),
+		WithRewriteStore(s), WithSeed(11), WithChains(2, 2),
+		WithBudgets(60000, 60000), WithEll(12)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Optimize(context.Background(), addKernel(),
+		WithRewriteStore(s), WithCacheOnly())
+	if err != nil {
+		t.Fatalf("warm cache-only probe failed: %v", err)
+	}
+	if !rep.CacheHit || rep.Verdict != verify.Equal {
+		t.Fatalf("warm probe: hit=%v verdict=%v", rep.CacheHit, rep.Verdict)
+	}
+}
+
+// constKernel computes rax := rdi + c for a literal c — the near-miss
+// test pair: different constants, same canonical skeleton.
+func constKernel(name string, c int64) Kernel {
+	p := &x64.Program{Insts: []x64.Inst{
+		x64.MakeInst(x64.MOV, x64.R64(x64.RDI), x64.R64(x64.RAX)),
+		x64.MakeInst(x64.ADD, x64.Imm(c, 8), x64.R64(x64.RAX)),
+		x64.MakeInst(x64.ADD, x64.Imm(c, 8), x64.R64(x64.RAX)),
+	}}
+	return NewKernel(name, p, WithInputs(RDI), WithOutput64(RAX))
+}
+
+// TestNearMissWarmStart: a fingerprint-class entry with different
+// constants warm-starts the search (observed via the EventWarmStart
+// event) and the run still verifies.
+func TestNearMissWarmStart(t *testing.T) {
+	s, _ := store.Open("", 16)
+	e := NewEngine(EngineConfig{Workers: 4})
+	defer e.Close()
+	base := []Option{
+		WithRewriteStore(s),
+		WithSeed(31),
+		WithChains(2, 2),
+		WithBudgets(40000, 40000),
+		WithEll(8),
+	}
+
+	if _, err := e.Optimize(context.Background(), constKernel("c42", 42), base...); err != nil {
+		t.Fatal(err)
+	}
+	launched := e.SearchesLaunched()
+
+	var sawWarm bool
+	rep, err := e.Optimize(context.Background(), constKernel("c99", 99),
+		append(base, WithObserver(func(ev Event) {
+			if ev.Kind == EventWarmStart {
+				sawWarm = true
+			}
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHit {
+		t.Fatal("different constants must not be an exact hit")
+	}
+	if !sawWarm {
+		t.Fatal("fingerprint-class near-miss did not warm-start the search")
+	}
+	if got := e.SearchesLaunched(); got != launched+1 {
+		t.Fatalf("near-miss must still search: %d launches, want %d", got, launched+1)
+	}
+	if rep.Verdict == verify.NotEqual {
+		t.Fatalf("warm-started run returned an unvalidated rewrite:\n%s", rep.Rewrite)
+	}
+}
+
+// TestCacheRevalidationRejectsCorruptEntry: a poisoned store entry (wrong
+// rewrite under the right key) must fail replay revalidation and degrade
+// to a miss — the served path can never skip correctness.
+func TestCacheRevalidationRejectsCorruptEntry(t *testing.T) {
+	s, _ := store.Open("", 16)
+	e := NewEngine(EngineConfig{Workers: 2})
+	defer e.Close()
+	opts := []Option{
+		WithRewriteStore(s), WithSeed(11), WithChains(2, 2),
+		WithBudgets(60000, 60000), WithEll(12),
+	}
+	rep, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison: replace the cached rewrite with one computing the wrong
+	// function, keeping everything else.
+	entry, ok := s.Get(rep.Fingerprint, nil)
+	if !ok {
+		// The entry may carry constants; find it via the class index.
+		near := s.Near(rep.Fingerprint)
+		if len(near) == 0 {
+			t.Fatal("no stored entry to poison")
+		}
+		entry = near[0]
+	}
+	poisoned := *entry
+	poisoned.Rewrite = "subq rcx, rax" // wrong function, parseable
+	if err := s.Put(&poisoned); err != nil {
+		t.Fatal(err)
+	}
+
+	before := e.SearchesLaunched()
+	rep2, err := e.Optimize(context.Background(), addKernel(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CacheHit {
+		t.Fatal("poisoned entry served as a hit")
+	}
+	if e.SearchesLaunched() != before+1 {
+		t.Fatal("revalidation failure must fall back to a search")
+	}
+	if rep2.Verdict == verify.NotEqual {
+		t.Fatal("fallback search returned an unvalidated rewrite")
+	}
+}

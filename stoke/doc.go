@@ -59,6 +59,46 @@
 // compiled path by randomized and fuzz-grade differential tests
 // (internal/emu's FuzzCompiledVsInterpreted and FuzzPatchVsFreshCompile).
 //
+// # Serving mode and the rewrite store
+//
+// Proven rewrites can be cached across runs, processes and machines:
+// WithRewriteStore attaches a content-addressed store (internal/store) in
+// which kernels are keyed by their canonical fingerprint (internal/canon —
+// register/label renaming, constant abstraction, live-out normalisation),
+// so α-equivalent submissions collide. A run whose fingerprint hits the
+// store returns the proven rewrite immediately — after replaying the
+// stored counterexample set plus freshly generated testcases through the
+// compiled evaluator as revalidation — without launching a search
+// (Report.CacheHit, Engine.SearchesLaunched); a same-class near-miss
+// (equal skeleton, different constants) warm-starts the search from the
+// cached rewrite, its counterexamples and its rejection profile.
+// WithCacheOnly turns Optimize into the synchronous probe a serving
+// front-end issues before queueing an async job (ErrCacheMiss on a cold
+// fingerprint).
+//
+// cmd/stoke-serve wires this into a long-running service (internal/server):
+// an HTTP/JSON job API with SSE event streaming, per-tenant concurrency
+// budgets, in-flight dedup, and graceful drain. Running it and submitting
+// a job:
+//
+//	$ stoke-serve -addr :8080 -store rewrites.jsonl &
+//	$ curl -s localhost:8080/v1/jobs -d '{
+//	    "kernel": {
+//	      "name": "add",
+//	      "target": "movq rdi, rax\naddq rsi, rax",
+//	      "inputs": ["rdi", "rsi"],
+//	      "outputs": ["rax"]
+//	    }
+//	  }'
+//	{"id":"job-1","status":"queued", ...}
+//	$ curl -s localhost:8080/v1/jobs/job-1          # poll until "done"
+//	$ curl -N  localhost:8080/v1/jobs/job-1/events  # live engine events (SSE)
+//	$ curl -s  localhost:8080/statsz                # cache + job counters
+//
+// Resubmitting the same kernel — or any register-renamed variant — then
+// answers synchronously from the store with "cache_hit": true, in
+// microseconds instead of a search.
+//
 // For one-shot use without managing an Engine, the package-level Optimize
 // creates a transient pool sized to the machine.
 package stoke

@@ -30,7 +30,17 @@ type Engine struct {
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// searches counts searches actually launched (cache hits and
+	// cache-only probes never increment it) — the observable that lets
+	// tests and the serving layer assert a request was answered from the
+	// store rather than by a fresh search.
+	searches atomic.Int64
 }
+
+// SearchesLaunched reports how many runs on this engine proceeded into an
+// MCMC search (as opposed to being served from the rewrite store).
+func (e *Engine) SearchesLaunched() int64 { return e.searches.Load() }
 
 // NewEngine starts a worker pool and returns the Engine owning it.
 func NewEngine(cfg EngineConfig) *Engine {

@@ -32,6 +32,14 @@ const (
 	// EventPrune reports a stagnant chain abandoning its own hopeless
 	// best and reseeding from the kernel's global best-so-far program.
 	EventPrune
+	// EventCacheHit reports a run served entirely from the rewrite store:
+	// the cached rewrite revalidated against fresh testcases and the
+	// stored counterexample set, so no search was launched.
+	EventCacheHit
+	// EventWarmStart reports a fingerprint-class near-miss: a cached
+	// rewrite for the same canonical skeleton (different constants)
+	// seeded the optimization chains, τ and the rejection profile.
+	EventWarmStart
 )
 
 func (k EventKind) String() string {
@@ -50,6 +58,10 @@ func (k EventKind) String() string {
 		return "swap"
 	case EventPrune:
 		return "prune"
+	case EventCacheHit:
+		return "cache-hit"
+	case EventWarmStart:
+		return "warm-start"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -114,6 +126,10 @@ func (e Event) String() string {
 	case EventPrune:
 		return fmt.Sprintf("[%s] %s chain %d: pruned to the global best (cost %.1f)",
 			e.Kernel, e.Phase, e.Chain, e.Cost)
+	case EventCacheHit:
+		return fmt.Sprintf("[%s] cache hit: proven rewrite served from the store", e.Kernel)
+	case EventWarmStart:
+		return fmt.Sprintf("[%s] near-miss warm start from the store (cost %.1f)", e.Kernel, e.Cost)
 	}
 	return fmt.Sprintf("[%s] %v", e.Kernel, e.Kind)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/search"
+	"repro/internal/store"
 	"repro/internal/verify"
 )
 
@@ -48,6 +49,8 @@ type settings struct {
 	tempering      bool
 	ladder         []float64
 	sharedProfile  bool
+	store          *store.Store
+	cacheOnly      bool
 
 	// emitMu serializes this run's observer callbacks. It is per-resolve
 	// (shared by OptimizeAll's per-kernel copies, distinct across runs),
@@ -208,6 +211,29 @@ func WithLadder(mults ...float64) Option {
 // bad proposals are rejected.
 func WithSharedProfile(enabled bool) Option {
 	return func(st *settings) { st.sharedProfile = enabled }
+}
+
+// WithRewriteStore attaches a content-addressed rewrite cache to the run.
+// Before searching, Optimize canonicalises the kernel (internal/canon) and
+// probes the store: an exact fingerprint+constants hit returns the proven
+// rewrite immediately — after replaying the stored counterexample set and
+// this run's freshly generated testcases through the compiled evaluator as
+// revalidation — without launching a search; a fingerprint-class near-miss
+// (same canonical skeleton, different constants) warm-starts the
+// optimization chains, τ and the rejection profile from the cached entry.
+// Every successfully verified run is written back. The same store may
+// serve any number of engines and runs concurrently.
+func WithRewriteStore(s *store.Store) Option {
+	return func(st *settings) { st.store = s }
+}
+
+// WithCacheOnly makes Optimize answer exclusively from the rewrite store:
+// an exact hit returns as usual, anything else fails with ErrCacheMiss
+// instead of searching. This is the synchronous fast path a serving
+// front-end probes before enqueueing an async search job. Requires
+// WithRewriteStore.
+func WithCacheOnly() Option {
+	return func(st *settings) { st.cacheOnly = true }
 }
 
 // betaLadder resolves a phase's per-replica inverse temperatures: the

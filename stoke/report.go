@@ -54,6 +54,14 @@ type Report struct {
 	// did not spend.
 	SkippedValidations int
 
+	// CacheHit marks a run served from the rewrite store without
+	// launching a search: the fingerprint matched a proven entry whose
+	// rewrite revalidated against fresh testcases and the stored
+	// counterexample set. Fingerprint is the kernel's canonical
+	// fingerprint whenever a store was configured, hit or miss.
+	CacheHit    bool
+	Fingerprint string
+
 	Stats mcmc.Stats
 	Tests int
 }

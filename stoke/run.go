@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/cost"
 	"repro/internal/emu"
 	"repro/internal/mcmc"
@@ -43,17 +44,53 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	if err != nil {
 		return nil, fmt.Errorf("stoke: %s: %w", k.Name, err)
 	}
+	generated := len(tests)
 
 	rep := &Report{Kernel: k.Name, Target: k.Target, Tests: len(tests)}
 	pools := mcmc.PoolsFor(k.Target, sse)
 
+	// --- Rewrite-store probe (before any search): an exact fingerprint
+	// hit revalidates against the fresh testcases and serves immediately;
+	// a fingerprint-class near-miss yields warm-start material. ---
+	var form *canon.Form
+	var warm *cacheWarm
+	if st.store != nil {
+		probeStart := time.Now()
+		form = canon.Canonicalize(k.Target, liveOutFor(k))
+		rep.Fingerprint = form.FP.Hex()
+		var hit *x64.Program
+		hit, warm = e.cacheProbe(k, &st, form, tests, rng)
+		if hit != nil {
+			return e.serveHit(k, &st, rep, hit, time.Since(probeStart)), nil
+		}
+	}
+	if st.cacheOnly {
+		return nil, fmt.Errorf("stoke: %s: %w", k.Name, ErrCacheMiss)
+	}
+	e.searches.Add(1)
+
+	// A near-miss seeds τ with the cached entry's replayed counterexample
+	// set before any chain starts, so the search begins with the
+	// discriminating inputs a previous search had to discover.
+	if warm != nil {
+		tests = append(tests[:len(tests):len(tests)], warm.tests...)
+		e.emit(&st, Event{Kind: EventWarmStart, Kernel: k.Name,
+			Cost: warm.costH, Tests: len(tests)})
+	}
+
 	// The kernel-wide rejection profile: every chain's early terminations
 	// feed it, and every later chain (optimization chains after synthesis,
 	// refinement rounds after round 0) warm-starts its testcase order from
-	// it instead of re-learning which testcases discriminate.
+	// it instead of re-learning which testcases discriminate. A near-miss
+	// restores the counters a previous search learned for this fingerprint
+	// class.
 	var prof *cost.SharedProfile
 	if st.sharedProfile {
-		prof = cost.NewSharedProfile(len(tests))
+		if warm != nil && len(warm.profile) > 0 {
+			prof = cost.NewSharedProfileFromCounts(warm.profile, len(tests))
+		} else {
+			prof = cost.NewSharedProfile(len(tests))
+		}
 	}
 	newCost := func(perfWeight float64) *cost.Fn {
 		// The three-index slice keeps each chain's AddTest append from
@@ -123,9 +160,15 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name, Phase: "synthesis",
 		Elapsed: time.Since(start)})
 
-	// Candidate starting points for optimization: the target plus every
+	// Candidate starting points for optimization: the target, any
+	// near-miss warm start from the rewrite store (possibly incorrect for
+	// the new constants — chains funnel every candidate through eval and
+	// the validator, so it can only help, never mislead), plus every
 	// synthesized zero-cost rewrite.
 	starts := []*x64.Program{k.Target}
+	if warm != nil {
+		starts = append(starts, warm.start)
+	}
 	for _, r := range synthResults {
 		rep.Stats.Proposals += r.Stats.Proposals
 		rep.Stats.Accepts += r.Stats.Accepts
@@ -432,7 +475,14 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		}
 	}
 
-	return finish(best, verdict, verifyCancelled), nil
+	out := finish(best, verdict, verifyCancelled)
+	// Write the proven outcome back to the rewrite store — including
+	// no-improvement results (rewrite == target), which dedupe repeated
+	// fruitless searches for the same kernel into one.
+	if st.store != nil && form != nil && !out.Partial && out.Verdict == verify.Equal {
+		cachePut(k, &st, form, out, tests, generated, prof)
+	}
+	return out, nil
 }
 
 // fastestSurvivor re-ranks candidates (Figure 9, step 6): the fastest
