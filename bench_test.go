@@ -198,15 +198,29 @@ func BenchmarkAblationEqualityMetric(b *testing.B) {
 	}
 }
 
+// evalModes are the three evaluation pipelines the throughput benchmarks
+// A/B: the seed interpreter, the decode-once compiled path, and the
+// compiled path with batched lockstep testcase sweeps.
+var evalModes = []struct {
+	name        string
+	interpreted bool
+	batched     bool
+}{
+	{"interpreted", true, false},
+	{"compiled", false, false},
+	{"batched", false, true},
+}
+
 // BenchmarkEvalThroughput measures end-to-end proposals per second through
-// the two evaluation pipelines — the seed interpreter (copy the candidate,
-// re-decode every instruction on every testcase) versus the decode-once
+// the evaluation pipelines — the seed interpreter (copy the candidate,
+// re-decode every instruction on every testcase), the decode-once
 // compiled path (patch the mutated slots, adaptive testcase order, pinned
-// per-testcase machines) — on an optimization-phase chain (β=1, perf term
-// on, started from the target: the regime the paper's §6 wall-clock is
-// spent in) at the harness ℓ=14 and the paper's ℓ=50 profile.
-// cmd/stoke-bench -eval-baseline records the same measurement, plus
-// secondary kernels, as a machine-readable BENCH_eval.json.
+// per-testcase machines), and the batched compiled path (each slot runs
+// across all live testcases in lockstep) — on an optimization-phase chain
+// (β=1, perf term on, started from the target: the regime the paper's §6
+// wall-clock is spent in) at the harness ℓ=14 and the paper's ℓ=50
+// profile. cmd/stoke-bench -eval-baseline records the same measurement,
+// plus secondary kernels, as a machine-readable BENCH_eval.json.
 func BenchmarkEvalThroughput(b *testing.B) {
 	bench, err := kernels.ByName("p01")
 	if err != nil {
@@ -217,10 +231,7 @@ func BenchmarkEvalThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, ell := range []int{14, 50} {
-		for _, mode := range []struct {
-			name        string
-			interpreted bool
-		}{{"interpreted", true}, {"compiled", false}} {
+		for _, mode := range evalModes {
 			b.Run(fmt.Sprintf("ell=%d/%s", ell, mode.name), func(b *testing.B) {
 				params := mcmc.PaperParams
 				params.Ell = ell
@@ -231,6 +242,46 @@ func BenchmarkEvalThroughput(b *testing.B) {
 					Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
 					Rng:         rand.New(rand.NewSource(9)),
 					Interpreted: mode.interpreted,
+					Batched:     mode.batched,
+				}
+				b.ResetTimer()
+				res := s.Run(context.Background(), bench.Target, int64(b.N))
+				b.StopTimer()
+				if res.Best == nil {
+					b.Fatal("chain returned no program")
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "proposals/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEvalThroughputBatched sweeps the testcase count |τ| ∈ {1, 4,
+// 16, 64} on the p01 kernel at ℓ=50, batched against scalar compiled: the
+// batch-width scaling of the lockstep evaluator. At |τ|=1 the two paths
+// are identical (a one-testcase batch never leaves the scalar chunk);
+// the amortisation of per-slot dispatch grows with the width.
+func BenchmarkEvalThroughputBatched(b *testing.B) {
+	bench, err := kernels.ByName("p01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ntests := range []int{1, 4, 16, 64} {
+		tests, err := testgen.Generate(bench.Target, bench.Spec, ntests, rand.New(rand.NewSource(8)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range evalModes[1:] { // compiled and batched
+			b.Run(fmt.Sprintf("tau=%d/%s", ntests, mode.name), func(b *testing.B) {
+				params := mcmc.PaperParams
+				params.Ell = 50
+				params.Beta = 1.0
+				s := &mcmc.Sampler{
+					Params:  params,
+					Pools:   mcmc.PoolsFor(bench.Target, false),
+					Cost:    cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
+					Rng:     rand.New(rand.NewSource(9)),
+					Batched: mode.batched,
 				}
 				b.ResetTimer()
 				res := s.Run(context.Background(), bench.Target, int64(b.N))
@@ -259,10 +310,7 @@ func BenchmarkEvalThroughputSSE(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, mode := range []struct {
-		name        string
-		interpreted bool
-	}{{"interpreted", true}, {"compiled", false}} {
+	for _, mode := range evalModes {
 		b.Run("ell=50/"+mode.name, func(b *testing.B) {
 			params := mcmc.PaperParams
 			params.Ell = 50
@@ -273,6 +321,7 @@ func BenchmarkEvalThroughputSSE(b *testing.B) {
 				Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
 				Rng:         rand.New(rand.NewSource(9)),
 				Interpreted: mode.interpreted,
+				Batched:     mode.batched,
 			}
 			b.ResetTimer()
 			res := s.Run(context.Background(), bench.Target, int64(b.N))

@@ -21,6 +21,12 @@
 //     The result is a full 16-register bijection, so any scratch register
 //     of a cached rewrite maps back injectively.
 //   - Label renumbering in order of first mention.
+//   - Commutative addressing normalisation: at scale 1 the base and index
+//     registers of a memory operand are interchangeable (base + index·1 is
+//     symmetric), so "(rax,rbx,1)" and "(rbx,rax,1)" — and the index-only
+//     form "(,rbx,1)" against the plain "(rbx)" — are folded into one
+//     orientation after renaming. RSP never moves out of the base slot: it
+//     is not encodable as an index register.
 //   - Constant abstraction: immediates and memory displacements are
 //     value-numbered into a constant vector and the fingerprint sees only
 //     their indices, so kernels differing in literals share a fingerprint
@@ -184,8 +190,10 @@ func Canonicalize(p *x64.Program, live verify.LiveOut) *Form {
 		f.xmmFrom[f.xmmTo[r]] = r
 	}
 
-	// --- Canonical program: rename registers and labels. ---
+	// --- Canonical program: rename registers and labels, then pick one
+	// orientation for every scale-1 addressing form. ---
 	f.Prog = renameProgram(packed, &f.toCanon, &f.xmmTo)
+	normalizeMemOperands(f.Prog)
 
 	// --- Canonical live-out declaration. ---
 	f.Live = verify.LiveOut{Flags: live.Flags}
@@ -216,7 +224,9 @@ func (f *Form) ToCanon(q *x64.Program) (*x64.Program, bool) {
 	if !RenameOK(q, &f.toCanon) {
 		return nil, false
 	}
-	return renameProgram(q.Packed(), &f.toCanon, &f.xmmTo), true
+	r := renameProgram(q.Packed(), &f.toCanon, &f.xmmTo)
+	normalizeMemOperands(r)
+	return r, true
 }
 
 // FromCanon carries a canonical-space program back into the original
@@ -259,6 +269,34 @@ func SubstituteConsts(p *x64.Program, oldv, newv []int64) *x64.Program {
 		}
 	}
 	return q
+}
+
+// normalizeMemOperands rewrites every scale-1 memory operand of q in place
+// into a single canonical addressing orientation: an index-only operand
+// "(,r,1)" becomes the plain base form "(r)", and when both registers are
+// present the lower-numbered one takes the base slot (base + index·1 is
+// symmetric, so either orientation computes the same address). RSP is left
+// wherever it stands: x64 cannot encode it as an index register, so moving
+// it would manufacture an unencodable operand. Runs after register
+// renaming — the orientation the mutator happened to emit must not leak
+// into the fingerprint, and the renaming bijection is already fixed by the
+// time the swap happens, so first-appearance order is unaffected.
+func normalizeMemOperands(q *x64.Program) {
+	for i := range q.Insts {
+		in := &q.Insts[i]
+		for oi := uint8(0); oi < in.N; oi++ {
+			o := &in.Opd[oi]
+			if o.Kind != x64.KindMem || o.Scale != 1 || o.Index == x64.NoReg {
+				continue
+			}
+			switch {
+			case o.Base == x64.NoReg:
+				o.Base, o.Index = o.Index, x64.NoReg
+			case o.Base != x64.RSP && o.Index != x64.RSP && o.Index < o.Base:
+				o.Base, o.Index = o.Index, o.Base
+			}
+		}
+	}
 }
 
 // forEachGPR visits every general-purpose register mention of p in slot,

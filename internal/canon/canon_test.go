@@ -105,6 +105,36 @@ func TestAlphaEquivalentCollide(t *testing.T) {
 			liveB: live64(x64.RAX),
 			same:  true,
 		},
+		{
+			name: "commutative addressing orientation",
+			// The leading moves force both registers into a fixed renaming
+			// order, so the two orientations of the scale-1 operand reach
+			// the fingerprint with genuinely swapped base/index — only the
+			// normalisation pass can merge them.
+			a:     "movq rdi, rcx\nmovq rsi, rdx\nmovq (rdi,rsi,1), rax",
+			b:     "movq rdi, rcx\nmovq rsi, rdx\nmovq (rsi,rdi,1), rax",
+			liveA: live64(x64.RAX),
+			liveB: live64(x64.RAX),
+			same:  true,
+		},
+		{
+			name: "scaled addressing is not commutative",
+			// base + 2·index is asymmetric: swapping the registers is a
+			// different address, and must stay a different fingerprint.
+			a:     "movq rdi, rcx\nmovq rsi, rdx\nmovq (rdi,rsi,2), rax",
+			b:     "movq rdi, rcx\nmovq rsi, rdx\nmovq (rsi,rdi,2), rax",
+			liveA: live64(x64.RAX),
+			liveB: live64(x64.RAX),
+			same:  false,
+		},
+		{
+			name:  "index-only folds into the base form",
+			a:     "movq (,rdi,1), rax",
+			b:     "movq (rdi), rax",
+			liveA: live64(x64.RAX),
+			liveB: live64(x64.RAX),
+			same:  true,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -119,6 +149,34 @@ func TestAlphaEquivalentCollide(t *testing.T) {
 					fa.Prog, fb.Prog)
 			}
 		})
+	}
+}
+
+// TestMemOperandNormalisation pins the details of the scale-1 addressing
+// normalisation the α-equivalence table can't see directly: RSP never
+// leaves the base slot, and ToCanon applies the same orientation so cached
+// canonical rewrites compare equal regardless of how a mutation oriented
+// the operand.
+func TestMemOperandNormalisation(t *testing.T) {
+	// RSP pins: index RAX sorts below base RSP, but swapping would put RSP
+	// in the (unencodable) index slot, so the operand must stay put.
+	f := Canonicalize(x64.MustParse("movq (rsp,rdi,1), rax"), live64(x64.RAX))
+	o := f.Prog.Insts[0].Opd[0]
+	if o.Base != x64.RSP || o.Index == x64.NoReg {
+		t.Errorf("RSP-based operand reoriented: base=%v index=%v", o.Base, o.Index)
+	}
+
+	// ToCanon must normalise carried rewrites the same way Canonicalize
+	// normalises the target, or equal rewrites would miss the cache.
+	target := x64.MustParse("movq rdi, rcx\nmovq rsi, rdx\nmovq (rdi,rsi,1), rax")
+	form := Canonicalize(target, live64(x64.RAX))
+	q := x64.MustParse("movq rdi, rcx\nmovq rsi, rdx\nmovq (rsi,rdi,1), rax")
+	qc, ok := form.ToCanon(q)
+	if !ok {
+		t.Fatal("ToCanon rejected a rename-safe rewrite")
+	}
+	if qc.String() != form.Prog.String() {
+		t.Errorf("ToCanon left a swapped orientation:\n%s\nvs canonical\n%s", qc, form.Prog)
 	}
 }
 

@@ -1,0 +1,52 @@
+package cost
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testgen"
+	"repro/internal/x64"
+)
+
+// BenchmarkEvalFullWidth isolates the full-τ evaluation regime the batched
+// path targets: no early termination, every testcase runs on every call.
+func BenchmarkEvalFullWidth(b *testing.B) {
+	target := x64.MustParse("movq rdi, rax\nimulq rsi, rax")
+	spec := compiledSpec()
+	// A dense candidate: 50 live ALU slots, the execution-bound regime of a
+	// wandering optimization chain.
+	src := "movq rdi, rax\n"
+	for i := 0; i < 48; i++ {
+		switch i % 4 {
+		case 0:
+			src += "addq rsi, rax\n"
+		case 1:
+			src += "xorq rdi, rcx\n"
+		case 2:
+			src += "movq rax, rdx\n"
+		case 3:
+			src += "subq 3, rcx\n"
+		}
+	}
+	src += "addq rcx, rax"
+	cand := x64.MustParse(src)
+	for _, ntests := range []int{16, 32, 64} {
+		tests, err := testgen.Generate(target, spec, ntests, rand.New(rand.NewSource(71)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := New(tests, spec.LiveOut, Improved, 1)
+		c := f.Compile(cand)
+		b.Run(fmt.Sprintf("scalar/tau=%d", ntests), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.EvalCompiled(c, MaxBudget)
+			}
+		})
+		b.Run(fmt.Sprintf("batched/tau=%d", ntests), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.EvalCompiledBatched(c, MaxBudget)
+			}
+		})
+	}
+}

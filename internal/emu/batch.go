@@ -1,0 +1,753 @@
+package emu
+
+import "repro/internal/x64"
+
+// Batched lockstep evaluation: one dispatch, all testcases. Batch runs a
+// compiled program across a set of per-testcase machines slot by slot —
+// every live lane executes the current micro-op before the pc advances —
+// so the dispatch switch, the operand decode, and the liveness/nf variant
+// selection are paid once per slot instead of once per (slot, lane). Each
+// inline dispatch code's body is the scalar RunCompiled body wrapped in a
+// loop over lanes with the micro-op fields hoisted into locals; micro-ops
+// without an inline code dispatch their specialised handler per lane, which
+// is exactly the scalar path with the switch amortised away. Lanes are full
+// Machines, so there is no separate batched state to build, invalidate on
+// Patch, or sync back before scoring: the batch borrows the caller's
+// machines and leaves each one in the identical state a scalar RunCompiled
+// would have.
+//
+// Control flow runs in lockstep while the lanes agree. A conditional jump
+// evaluates its condition per lane (with the same per-lane undef-read
+// accounting as the scalar path); if the lanes split, the minority side
+// peels off and finishes on the scalar tail (runCompiledFrom, resuming at
+// its side of the branch with the step count accumulated so far) while the
+// majority continues in lockstep. Divide faults do not diverge — the
+// compiled pipeline's #DE handler zeroes RAX:RDX and continues in line —
+// so a conditional jump is the only lockstep split point. Programs longer
+// than a lane's step budget fall back to that lane's exhaustion-checking
+// scalar path up front, where the liveness pass's flag-suppressed variants
+// are unsound for the same reason they are in runCompiledBounded.
+
+// Batch holds the scratch state of one lockstep run: per-lane outcomes,
+// the compacted live-lane list (machine pointers, so the hot lane loops
+// iterate a dense slice with no index indirection) with its parallel
+// original-position list, and the taken/fall partition scratch of the Jcc
+// case. The zero value is ready to use; one Batch may be reused across any
+// number of runs and lane counts.
+type Batch struct {
+	outs  []Outcome
+	lanes []*Machine
+	idx   []int32
+	tLane []*Machine
+	tIdx  []int32
+	fLane []*Machine
+	fIdx  []int32
+}
+
+// Run executes c across every machine in ms in lockstep and returns the
+// per-lane outcomes (valid until the next Run). Each machine must already
+// hold its lane's input state; on return it holds exactly the state the
+// scalar m.RunCompiled(c) would have produced, byte for byte, including
+// the fault and undef counters the cost function scores.
+func (b *Batch) Run(c *Compiled, ms []*Machine) []Outcome {
+	if cap(b.outs) < len(ms) {
+		b.outs = make([]Outcome, len(ms))
+		b.lanes = make([]*Machine, 0, len(ms))
+		b.idx = make([]int32, 0, len(ms))
+		b.tLane = make([]*Machine, 0, len(ms))
+		b.tIdx = make([]int32, 0, len(ms))
+		b.fLane = make([]*Machine, 0, len(ms))
+		b.fIdx = make([]int32, 0, len(ms))
+	}
+	outs := b.outs[:len(ms)]
+	lanes, idx := b.lanes[:0], b.idx[:0]
+	for i, m := range ms {
+		if len(c.ops) > m.MaxSteps {
+			outs[i] = m.runCompiledBounded(c)
+		} else {
+			lanes = append(lanes, m)
+			idx = append(idx, int32(i))
+		}
+	}
+	if len(lanes) > 0 {
+		b.runLockstep(c, outs, lanes, idx)
+	}
+	return outs
+}
+
+// runLockstep is the batched twin of runCompiledFrom: same slot bodies,
+// same observable effects per lane, with the per-slot work hoisted out of
+// the lane loop. lanes is the compacted live-lane list; idx[k] is the
+// original position of lanes[k] in the caller's machine slice (the outs
+// index it reports into).
+func (b *Batch) runLockstep(c *Compiled, outs []Outcome, lanes []*Machine, idx []int32) {
+	ops := c.ops
+	pc, n := uint(0), uint(len(ops))
+	steps := 0
+	for pc < n {
+		u := &ops[pc]
+		nx := uint(u.next)
+		switch u.kind {
+		case mkSkip:
+			pc = nx
+			continue
+		case mkRet:
+			pc = n
+			continue
+		case mkJmp:
+			steps++
+			pc = uint(u.target)
+			continue
+		case mkJcc:
+			steps++
+			cond := u.cc
+			tl, fl := b.tLane[:0], b.fLane[:0]
+			ti, fi := b.tIdx[:0], b.fIdx[:0]
+			for k, m := range lanes {
+				if x64.EvalCond(cond, m.readFlagsFor(cond)) {
+					tl = append(tl, m)
+					ti = append(ti, idx[k])
+				} else {
+					fl = append(fl, m)
+					fi = append(fi, idx[k])
+				}
+			}
+			target := uint(u.target)
+			switch {
+			case len(fl) == 0:
+				pc = target
+			case len(tl) == 0:
+				pc = nx
+			case len(tl) >= len(fl):
+				// Divergence: the minority peels to the scalar tail from
+				// its side of the branch, the majority stays in lockstep.
+				for k, m := range fl {
+					outs[fi[k]] = m.runCompiledFrom(c, nx, steps)
+				}
+				lanes = append(lanes[:0], tl...)
+				idx = append(idx[:0], ti...)
+				pc = target
+			default:
+				for k, m := range tl {
+					outs[ti[k]] = m.runCompiledFrom(c, target, steps)
+				}
+				lanes = append(lanes[:0], fl...)
+				idx = append(idx[:0], fi...)
+				pc = nx
+			}
+			continue
+		case mkMovRRW:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(src, mask))
+			}
+		case mkMovRIW:
+			dst, imm := u.dst, u.imm
+			for _, m := range lanes {
+				m.setReg(dst, imm)
+			}
+		case mkMovLoadW:
+			dst, w, opd := u.dst, int(u.w), u.in.Opd[0]
+			for _, m := range lanes {
+				m.setReg(dst, m.load(m.effectiveAddr(opd), w))
+			}
+		case mkMovStoreR:
+			src, w, opd := u.src, u.w, u.in.Opd[1]
+			wm := widthMask(w)
+			for _, m := range lanes {
+				v := m.readReg(src, wm)
+				m.store(m.effectiveAddr(opd), int(w), v)
+			}
+		case mkAddRRW:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				r := (a + bb) & mask
+				m.putFlags(x64.AllFlags, addBits(a, bb, 0, r, u))
+				m.setReg(dst, r)
+			}
+		case mkAddRIW:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a + imm) & mask
+				m.putFlags(x64.AllFlags, addBits(a, imm, 0, r, u))
+				m.setReg(dst, r)
+			}
+		case mkSubRRW:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				r := (a - bb) & mask
+				m.putFlags(x64.AllFlags, subBits(a, bb, 0, r, u))
+				m.setReg(dst, r)
+			}
+		case mkSubRIW:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a - imm) & mask
+				m.putFlags(x64.AllFlags, subBits(a, imm, 0, r, u))
+				m.setReg(dst, r)
+			}
+		case mkAndRRW:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) & m.readReg(src, mask)
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkAndRIW:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) & imm
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkOrRRW:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) | m.readReg(src, mask)
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkOrRIW:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) | imm
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkXorRRW:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) ^ m.readReg(src, mask)
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkXorRIW:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) ^ imm
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkZeroW:
+			dst := u.dst
+			for _, m := range lanes {
+				m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+				m.setReg(dst, 0)
+			}
+		case mkCmpRR:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				m.putFlags(x64.AllFlags, subBits(a, bb, 0, (a-bb)&mask, u))
+			}
+		case mkCmpRI:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				m.putFlags(x64.AllFlags, subBits(a, imm, 0, (a-imm)&mask, u))
+			}
+		case mkTestRR:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				m.putFlags(x64.AllFlags, szpBits(m.readReg(dst, mask)&m.readReg(src, mask), sbit))
+			}
+		case mkTestRI:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				m.putFlags(x64.AllFlags, szpBits(m.readReg(dst, mask)&imm, sbit))
+			}
+		case mkLeaW:
+			dst, mask, opd := u.dst, u.mask, u.in.Opd[0]
+			for _, m := range lanes {
+				m.setReg(dst, m.effectiveAddr(opd)&mask)
+			}
+		case mkCmovRRW:
+			dst, src, mask, cond := u.dst, u.src, u.mask, u.cc
+			for _, m := range lanes {
+				taken := x64.EvalCond(cond, m.readFlagsFor(cond))
+				sv := m.readReg(src, mask)
+				dv := m.readReg(dst, mask)
+				v := dv
+				if taken {
+					v = sv
+				}
+				m.setReg(dst, v)
+			}
+		case mkIncW:
+			dst, mask, sbit := u.dst, u.mask, u.sbit
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) + 1) & mask
+				fl := szpBits(r, sbit)
+				if r == sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(incDecFlags, fl)
+				m.setReg(dst, r)
+			}
+		case mkDecW:
+			dst, mask, sbit := u.dst, u.mask, u.sbit
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a - 1) & mask
+				fl := szpBits(r, sbit)
+				if a == sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(incDecFlags, fl)
+				m.setReg(dst, r)
+			}
+		case mkNegW:
+			dst, mask, sbit := u.dst, u.mask, u.sbit
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (-a) & mask
+				fl := szpBits(r, sbit)
+				if a != 0 {
+					fl |= x64.CF
+				}
+				if a == sbit {
+					fl |= x64.OF
+				}
+				m.putFlags(x64.AllFlags, fl)
+				m.setReg(dst, r)
+			}
+		case mkNotW:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, ^m.readReg(dst, mask)&mask)
+			}
+		case mkMovRRN:
+			dst, src, w, mask := u.dst, u.src, u.w, u.mask
+			for _, m := range lanes {
+				m.writeGPR(dst, w, m.readReg(src, mask))
+			}
+		case mkMovRIN:
+			dst, w, imm := u.dst, u.w, u.imm
+			for _, m := range lanes {
+				m.writeGPR(dst, w, imm)
+			}
+		case mkSetcc:
+			dst, cond := u.dst, u.cc
+			for _, m := range lanes {
+				v := uint64(0)
+				if x64.EvalCond(cond, m.readFlagsFor(cond)) {
+					v = 1
+				}
+				m.writeGPR(dst, 1, v)
+			}
+		case mkMovsxRR:
+			src, mask := u.src, u.mask
+			srcMask := widthMask(u.w2)
+			inv := 64 - 8*uint(u.w2)
+			for _, m := range lanes {
+				v := m.readReg(src, srcMask)
+				m.writeALU(u, uint64(int64(v<<inv)>>inv)&mask)
+			}
+		case mkAddRRN:
+			dst, src, w, mask, nf := u.dst, u.src, u.w, u.mask, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				r := (a + bb) & mask
+				if !nf {
+					m.putFlags(x64.AllFlags, addBits(a, bb, 0, r, u))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkAddRIN:
+			dst, imm, w, mask, nf := u.dst, u.imm, u.w, u.mask, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a + imm) & mask
+				if !nf {
+					m.putFlags(x64.AllFlags, addBits(a, imm, 0, r, u))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkSubRRN:
+			dst, src, w, mask, nf := u.dst, u.src, u.w, u.mask, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				r := (a - bb) & mask
+				if !nf {
+					m.putFlags(x64.AllFlags, subBits(a, bb, 0, r, u))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkSubRIN:
+			dst, imm, w, mask, nf := u.dst, u.imm, u.w, u.mask, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a - imm) & mask
+				if !nf {
+					m.putFlags(x64.AllFlags, subBits(a, imm, 0, r, u))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkAndRRN:
+			dst, src, w, mask, sbit, nf := u.dst, u.src, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) & m.readReg(src, mask)
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkAndRIN:
+			dst, imm, w, mask, sbit, nf := u.dst, u.imm, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) & imm
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkOrRRN:
+			dst, src, w, mask, sbit, nf := u.dst, u.src, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) | m.readReg(src, mask)
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkOrRIN:
+			dst, imm, w, mask, sbit, nf := u.dst, u.imm, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) | imm
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkXorRRN:
+			dst, src, w, mask, sbit, nf := u.dst, u.src, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) ^ m.readReg(src, mask)
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkXorRIN:
+			dst, imm, w, mask, sbit, nf := u.dst, u.imm, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := m.readReg(dst, mask) ^ imm
+				if !nf {
+					m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkZeroN:
+			dst, w, nf := u.dst, u.w, u.nf
+			for _, m := range lanes {
+				if !nf {
+					m.putFlags(x64.AllFlags, x64.ZF|x64.PF)
+				}
+				m.writeGPR(dst, w, 0)
+			}
+		case mkIncN:
+			dst, w, mask, sbit, nf := u.dst, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) + 1) & mask
+				if !nf {
+					fl := szpBits(r, sbit)
+					if r == sbit {
+						fl |= x64.OF
+					}
+					m.putFlags(incDecFlags, fl)
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkDecN:
+			dst, w, mask, sbit, nf := u.dst, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (a - 1) & mask
+				if !nf {
+					fl := szpBits(r, sbit)
+					if a == sbit {
+						fl |= x64.OF
+					}
+					m.putFlags(incDecFlags, fl)
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkNegN:
+			dst, w, mask, sbit, nf := u.dst, u.w, u.mask, u.sbit, u.nf
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				r := (-a) & mask
+				if !nf {
+					fl := szpBits(r, sbit)
+					if a != 0 {
+						fl |= x64.CF
+					}
+					if a == sbit {
+						fl |= x64.OF
+					}
+					m.putFlags(x64.AllFlags, fl)
+				}
+				m.writeGPR(dst, w, r)
+			}
+		case mkShlIW:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				shlCore(m, u, m.readReg(dst, mask), imm)
+			}
+		case mkShrIW:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				shrCore(m, u, m.readReg(dst, mask), imm)
+			}
+		case mkSarIW:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				sarCore(m, u, m.readReg(dst, mask), imm)
+			}
+		case mkAddRRWNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)+m.readReg(src, mask))&mask)
+			}
+		case mkAddRIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)+imm)&mask)
+			}
+		case mkSubRRWNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)-m.readReg(src, mask))&mask)
+			}
+		case mkSubRIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)-imm)&mask)
+			}
+		case mkAndRRWNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)&m.readReg(src, mask))
+			}
+		case mkAndRIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)&imm)
+			}
+		case mkOrRRWNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)|m.readReg(src, mask))
+			}
+		case mkOrRIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)|imm)
+			}
+		case mkXorRRWNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)^m.readReg(src, mask))
+			}
+		case mkXorRIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)^imm)
+			}
+		case mkZeroWNF:
+			dst := u.dst
+			for _, m := range lanes {
+				m.setReg(dst, 0)
+			}
+		case mkCmpRRNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+				m.readReg(src, mask)
+			}
+		case mkCmpRINF:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+			}
+		case mkTestRRNF:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+				m.readReg(src, mask)
+			}
+		case mkTestRINF:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+			}
+		case mkIncWNF:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)+1)&mask)
+			}
+		case mkDecWNF:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (m.readReg(dst, mask)-1)&mask)
+			}
+		case mkNegWNF:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, (-m.readReg(dst, mask))&mask)
+			}
+		case mkShlIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)<<imm&mask)
+			}
+		case mkShrIWNF:
+			dst, imm, mask := u.dst, u.imm, u.mask
+			for _, m := range lanes {
+				m.setReg(dst, m.readReg(dst, mask)>>imm)
+			}
+		case mkSarIWNF:
+			dst, imm, mask, w := u.dst, u.imm, u.mask, u.w
+			for _, m := range lanes {
+				m.setReg(dst, uint64(sext(m.readReg(dst, mask), w)>>imm)&mask)
+			}
+		case mkAddRRWZ:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) + m.readReg(src, mask)) & mask
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkAddRIWZ:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) + imm) & mask
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkSubRRWZ:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) - m.readReg(src, mask)) & mask
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkSubRIWZ:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				r := (m.readReg(dst, mask) - imm) & mask
+				m.putFlags(x64.AllFlags, szpBits(r, sbit))
+				m.setReg(dst, r)
+			}
+		case mkCmpRRZ:
+			dst, src, mask, sbit := u.dst, u.src, u.mask, u.sbit
+			for _, m := range lanes {
+				a := m.readReg(dst, mask)
+				bb := m.readReg(src, mask)
+				m.putFlags(x64.AllFlags, szpBits((a-bb)&mask, sbit))
+			}
+		case mkCmpRIZ:
+			dst, imm, mask, sbit := u.dst, u.imm, u.mask, u.sbit
+			for _, m := range lanes {
+				m.putFlags(x64.AllFlags, szpBits((m.readReg(dst, mask)-imm)&mask, sbit))
+			}
+		case mkMovdRX:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.writeXmm(dst, [2]uint64{m.readReg(src, mask), 0})
+			}
+		case mkMovXX:
+			dst, src := u.dst, u.src
+			for _, m := range lanes {
+				m.writeXmm(dst, m.readXmmOp(src))
+			}
+		case mkMovupsLoad:
+			dst, opd := u.dst, u.in.Opd[0]
+			for _, m := range lanes {
+				m.writeXmm(dst, m.readXmmOrMem(opd))
+			}
+		case mkMovupsStore:
+			src, opd := u.src, u.in.Opd[1]
+			for _, m := range lanes {
+				m.writeXmmMem(opd, m.readXmmOp(src))
+			}
+		case mkShufps:
+			for _, m := range lanes {
+				hShufps(m, u)
+			}
+		case mkPshufd:
+			for _, m := range lanes {
+				hPshufd(m, u)
+			}
+		case mkPAddW:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PADDW)
+			}
+		case mkPSubW:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PSUBW)
+			}
+		case mkPMullW:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PMULLW)
+			}
+		case mkPAddD:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PADDD)
+			}
+		case mkPSubD:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PSUBD)
+			}
+		case mkPMullD:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PMULLD)
+			}
+		case mkPAddQ:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PADDQ)
+			}
+		case mkPAnd:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PAND)
+			}
+		case mkPOr:
+			for _, m := range lanes {
+				m.packedRR(u, x64.POR)
+			}
+		case mkPXor:
+			for _, m := range lanes {
+				m.packedRR(u, x64.PXOR)
+			}
+		case mkPXorZero:
+			dst := u.dst
+			for _, m := range lanes {
+				m.writeXmm(dst, [2]uint64{0, 0})
+			}
+		default:
+			run := u.run
+			for _, m := range lanes {
+				run(m, u)
+			}
+		}
+		steps++
+		pc = nx
+	}
+	for k, m := range lanes {
+		outs[idx[k]] = Outcome{
+			Steps:   steps,
+			SigSegv: m.sigsegv,
+			SigFpe:  m.sigfpe,
+			Undef:   m.undef,
+		}
+	}
+}

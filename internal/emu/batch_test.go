@@ -1,0 +1,220 @@
+package emu_test
+
+// Differential tests for the batched lockstep evaluator: on every program,
+// a Batch over N machines must leave each lane in exactly the state (and
+// with exactly the Outcome) the scalar RunCompiled produces from the same
+// snapshot — including lanes that diverge at conditional jumps and peel to
+// the scalar tail, lanes that fault, and lanes on the bounded exhaustion
+// path.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/mcmc"
+	"repro/internal/x64"
+)
+
+// batchWidth is the lane count the batched differential tests run: enough
+// lanes that conditional jumps routinely split both ways and re-split on
+// the peeled side.
+const batchWidth = 7
+
+// runBatchDiff loads each snapshot into a batch lane and a scalar
+// reference machine, runs both paths, and cross-checks outcome and full
+// machine state per lane.
+func runBatchDiff(t *testing.T, b *emu.Batch, lanes, refs []*emu.Machine,
+	c *emu.Compiled, snaps []*emu.Snapshot, what string) {
+	t.Helper()
+	for i, s := range snaps {
+		lanes[i].LoadSnapshotCached(s)
+	}
+	outs := b.Run(c, lanes[:len(snaps)])
+	for i, s := range snaps {
+		refs[i].LoadSnapshotCached(s)
+		want := refs[i].RunCompiled(c)
+		if outs[i] != want {
+			t.Errorf("%s: lane %d outcomes diverged: scalar %+v batched %+v",
+				what, i, want, outs[i])
+		}
+		diffStates(t, refs[i], lanes[i], s, fmt.Sprintf("%s: lane %d", what, i))
+	}
+}
+
+func newBatchMachines(n int) (lanes, refs []*emu.Machine) {
+	lanes, refs = make([]*emu.Machine, n), make([]*emu.Machine, n)
+	for i := range lanes {
+		lanes[i], refs[i] = emu.New(), emu.New()
+	}
+	return lanes, refs
+}
+
+// TestBatchedMatchesScalarRandom is the main batched differential test:
+// random programs drawn from the proposal pools (memory shapes and SSE
+// included), each run over a batch of independently random snapshots.
+func TestBatchedMatchesScalarRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1031))
+	target := x64.MustParse(`
+  movl (rdi), eax
+  movq 8(rsi), rcx
+  movb cl, 1(rdi)
+  addl 7, eax
+`)
+	s := &mcmc.Sampler{
+		Params: mcmc.PaperParams,
+		Pools:  mcmc.PoolsFor(target, true),
+		Rng:    rng,
+	}
+	s.Params.Ell = 12
+
+	programs := 1000
+	if testing.Short() {
+		programs = 100
+	}
+	lanes, refs := newBatchMachines(batchWidth)
+	var b emu.Batch
+	snaps := make([]*emu.Snapshot, batchWidth)
+	for pi := 0; pi < programs; pi++ {
+		p := s.RandomProgram()
+		c := emu.Compile(p)
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng)
+		}
+		runBatchDiff(t, &b, lanes, refs, c, snaps, "random program")
+		if t.Failed() {
+			t.Fatalf("diverging program:\n%s", p)
+		}
+	}
+}
+
+// TestBatchedControlFlow forces lockstep divergence: conditional jumps
+// whose outcome depends on lane-varying registers and flags, jumps over
+// faulting slots, early rets, and a divide whose #DE fault hits only some
+// lanes (the fault continues in line, so it must not split the batch).
+func TestBatchedControlFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4099))
+	progs := []string{
+		// Two-way split on a lane-varying comparison.
+		"cmpq rsi, rdi\njae .L0\nmovq rsi, rax\n.L0:\nmovq rdi, rax",
+		// Split, then a second split on the peel survivors.
+		"cmpq rsi, rdi\njb .L0\naddq 1, rax\n.L0:\ntestq rax, rax\nje .L1\nnegq rax\n.L1:\nnotq rax",
+		// Early ret on the taken side.
+		"testq rdi, rdi\nje .L0\nmovq rdi, rax\nretq\n.L0:\nmovq 7, rax",
+		// Divide faults on the lanes where rsi is zero; execution continues.
+		"movq rdi, rax\nxorq rdx, rdx\ndivq rsi\naddq 1, rax",
+		// Branch on possibly-undefined flags: per-lane undef accounting at
+		// the jcc itself.
+		"jle .L0\naddq rsi, rax\n.L0:\nsubq rdi, rax",
+	}
+	lanes, refs := newBatchMachines(batchWidth)
+	var b emu.Batch
+	snaps := make([]*emu.Snapshot, batchWidth)
+	for _, src := range progs {
+		p := x64.MustParse(src)
+		c := emu.Compile(p)
+		for round := 0; round < 60; round++ {
+			for i := range snaps {
+				snaps[i] = randomSnapshot(rng)
+			}
+			runBatchDiff(t, &b, lanes, refs, c, snaps, src)
+		}
+		if t.Failed() {
+			t.Fatalf("diverging program:\n%s", p)
+		}
+	}
+}
+
+// TestBatchedBoundedExhaustion pins the step-budget fallback: lanes whose
+// budget the program exceeds run the scalar exhaustion-checking path and
+// report Exhaust exactly as RunCompiled does.
+func TestBatchedBoundedExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := x64.MustParse(`
+  addq 1, rax
+  addq rdi, rax
+  cmpq rsi, rax
+  cmovbq rsi, rax
+  subq 3, rax
+  notq rax
+  negq rax
+  retq
+`)
+	c := emu.Compile(p)
+	lanes, refs := newBatchMachines(batchWidth)
+	var b emu.Batch
+	snaps := make([]*emu.Snapshot, batchWidth)
+	for _, budget := range []int{1, 3, 7, 4096} {
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng)
+			lanes[i].MaxSteps = budget
+			refs[i].MaxSteps = budget
+		}
+		runBatchDiff(t, &b, lanes, refs, c, snaps, fmt.Sprintf("budget %d", budget))
+		if budget < len(p.Insts)-1 {
+			for i := range lanes {
+				out := refs[i].RunCompiled(c)
+				if !out.Exhaust {
+					t.Fatalf("budget %d lane %d: expected exhaustion, got %+v", budget, i, out)
+				}
+				break
+			}
+		}
+	}
+}
+
+// TestBatchedPatchThenRerun mutates slots through the Patch path between
+// batched runs, mirroring how the MCMC loop drives the evaluator.
+func TestBatchedPatchThenRerun(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := x64.MustParse(`
+  cmpq rsi, rdi
+  jae .L0
+  addq rsi, rax
+.L0:
+  xorq rdx, rdx
+  addq rdi, rax
+`)
+	c := emu.Compile(p)
+	lanes, refs := newBatchMachines(batchWidth)
+	var b emu.Batch
+	snaps := make([]*emu.Snapshot, batchWidth)
+	for i := range snaps {
+		snaps[i] = randomSnapshot(rng)
+	}
+	jae := p.Insts[1] // jae .L0, saved before it is edited away
+	edits := []struct {
+		slot int
+		with x64.Inst
+	}{
+		{4, x64.MustParse("subq rdi, rax").Insts[0]},
+		{2, x64.MustParse("adcq rsi, rax").Insts[0]},
+		{1, x64.MustParse("movq rdi, rcx").Insts[0]}, // delete the branch: pure lockstep
+		{1, jae}, // and re-create it
+		{4, x64.MustParse("divq rsi").Insts[0]},
+	}
+	runBatchDiff(t, &b, lanes, refs, c, snaps, "before edits")
+	for step, e := range edits {
+		p.Insts[e.slot] = e.with
+		c.Patch(e.slot)
+		runBatchDiff(t, &b, lanes, refs, c, snaps, fmt.Sprintf("edit %d", step))
+		if t.Failed() {
+			t.Fatalf("diverging program after edit %d:\n%s", step, p)
+		}
+	}
+}
+
+// TestBatchedSingleAndEmpty pins the degenerate widths: a one-lane batch
+// must be exactly scalar, and an empty batch is a no-op.
+func TestBatchedSingleAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := x64.MustParse("addq rsi, rax\ncmpq rdi, rax\nsetb cl")
+	c := emu.Compile(p)
+	lanes, refs := newBatchMachines(1)
+	var b emu.Batch
+	runBatchDiff(t, &b, lanes, refs, c, []*emu.Snapshot{randomSnapshot(rng)}, "single lane")
+	if got := b.Run(c, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d outcomes", len(got))
+	}
+}

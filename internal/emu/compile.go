@@ -948,13 +948,21 @@ func lowerShift(u *microOp, in *x64.Inst) {
 // whenever the program fits the step budget; the common path runs without
 // it.
 func (m *Machine) RunCompiled(c *Compiled) Outcome {
-	var out Outcome
-	ops := c.ops
-	pc, n := uint(0), uint(len(ops))
-	if int(n) > m.MaxSteps {
+	if len(c.ops) > m.MaxSteps {
 		return m.runCompiledBounded(c)
 	}
-	steps := 0
+	return m.runCompiledFrom(c, 0, 0)
+}
+
+// runCompiledFrom is the resumable core of RunCompiled: it executes from an
+// arbitrary slot index with an inherited step count. RunCompiled enters at
+// slot zero; Batch's lockstep loop enters here when a diverging lane peels
+// off at a conditional jump and must finish on the scalar tail with the
+// step count the lockstep prefix already accumulated.
+func (m *Machine) runCompiledFrom(c *Compiled, pc uint, steps int) Outcome {
+	var out Outcome
+	ops := c.ops
+	n := uint(len(ops))
 	// pc is unsigned and the loop condition bounds it, so the slot access
 	// compiles without a bounds check; next/target are non-negative by
 	// construction (link clamps them to [0, n]).

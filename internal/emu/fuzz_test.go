@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/testgen"
+	"repro/internal/x64"
 )
 
 func FuzzCompiledVsInterpreted(f *testing.F) {
@@ -88,6 +89,88 @@ func FuzzPatchVsFreshCompile(f *testing.F) {
 	})
 }
 
+// batchLanes derives a spread of per-lane snapshots from one fuzz
+// snapshot: lane 0 runs it verbatim, later lanes perturb register values,
+// input flags, and definedness, so conditional jumps split the batch,
+// divisors fault on some lanes only, and the per-lane undef accounting is
+// exercised at every split point. The memory image is shared — lanes never
+// mutate their input snapshot.
+func batchLanes(snap *emu.Snapshot) []*emu.Snapshot {
+	lanes := make([]*emu.Snapshot, 7)
+	for i := range lanes {
+		s := *snap
+		if i > 0 {
+			s.Regs[(i*5)%16] ^= uint64(i) * 0x9e3779b97f4a7c15
+			s.Flags ^= x64.FlagSet(i) & x64.AllFlags
+			switch i % 3 {
+			case 1:
+				s.RegDef &^= 1 << ((i * 3) % 16)
+			case 2:
+				s.FlagsDef &^= x64.FlagSet(i>>1) & x64.AllFlags
+			}
+		}
+		lanes[i] = &s
+	}
+	return lanes
+}
+
+// FuzzBatchedVsScalar pins the batched lockstep evaluator to the scalar
+// compiled pipeline: on every decoded program — rerun after every patch
+// edit — each lane of a Batch must finish with exactly the Outcome and
+// machine state the per-testcase RunCompiled produces from the same
+// snapshot, across divergent conditional jumps, divide faults, and the
+// peel to the scalar tail.
+func FuzzBatchedVsScalar(f *testing.F) {
+	for _, s := range testgen.SeedCorpus() {
+		f.Add(s.Data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := testgen.DecodeFuzzCase(data)
+		prog := fc.Prog
+		c := emu.Compile(prog)
+		snaps := batchLanes(fc.Snap)
+		var batch emu.Batch
+		lanes := make([]*emu.Machine, len(snaps))
+		refs := make([]*emu.Machine, len(snaps))
+		for i := range snaps {
+			lanes[i], refs[i] = emu.New(), emu.New()
+		}
+		check := func(what string) {
+			t.Helper()
+			for i, s := range snaps {
+				lanes[i].LoadSnapshotCached(s)
+			}
+			outs := batch.Run(c, lanes)
+			for i, s := range snaps {
+				refs[i].LoadSnapshotCached(s)
+				want := refs[i].RunCompiled(c)
+				if outs[i] != want {
+					t.Errorf("%s: lane %d outcomes diverged: scalar %+v batched %+v",
+						what, i, want, outs[i])
+				}
+				diffStates(t, refs[i], lanes[i], s, fmt.Sprintf("%s: lane %d", what, i))
+			}
+			if t.Failed() {
+				t.Fatalf("diverging program (%s):\n%s", what, prog)
+			}
+		}
+		check("initial")
+		for step, e := range fc.Edits {
+			if e.Swap {
+				prog.Insts[e.Slot], prog.Insts[e.Other] = prog.Insts[e.Other], prog.Insts[e.Slot]
+				c.Patch(e.Slot)
+				if e.Other != e.Slot {
+					c.Patch(e.Other)
+				}
+			} else {
+				prog.Insts[e.Slot] = e.With
+				c.Patch(e.Slot)
+			}
+			check(fmt.Sprintf("after edit %d", step))
+		}
+	})
+}
+
 var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false,
 	"rewrite the checked-in fuzz seed corpora under testdata/fuzz")
 
@@ -97,7 +180,7 @@ var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false,
 // fuzzer always starts from. Regenerate with -update-fuzz-corpus after
 // extending the corpus for a new opcode.
 func TestFuzzSeedCorpusFiles(t *testing.T) {
-	for _, target := range []string{"FuzzCompiledVsInterpreted", "FuzzPatchVsFreshCompile"} {
+	for _, target := range []string{"FuzzCompiledVsInterpreted", "FuzzPatchVsFreshCompile", "FuzzBatchedVsScalar"} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if *updateFuzzCorpus {
 			if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -253,5 +253,60 @@ func SeedCorpus() []Seed {
 			fzEdit(5, fzSlot(FzALU, 2, 2, 4, 4)),
 		),
 	)
+
+	// Batched-evaluator divergence seeds. The batched fuzz target perturbs
+	// registers, flags, and definedness per lane, so these shapes make the
+	// lockstep loop split at a conditional jump, fault on a strict subset
+	// of lanes, and re-split on the peeled majority.
+	jflags := defaultFzSnap()
+	jflags.flagsDef = 0x0a // jcc straight on a partially-defined flag word
+	de := defaultFzSnap()
+	de.gprIdx[0] = fvThree // RAX dividend
+	de.gprIdx[2] = fvZero  // RDX high half: quotient fits
+	de.gprIdx[5] = fvZero  // RBP divisor: zero except on the lane that perturbs it
+	seeds = append(seeds,
+		// The first slot branches on the input flags, which vary (in value
+		// and definedness) across lanes: an immediate two-way split plus
+		// per-lane undef accounting at the jcc itself.
+		seed("batch-jcc-on-input-flags", jflags,
+			[][]byte{
+				fzSlot(FzJcc, 0, 1),       // jcc .L1 on the input flags
+				fzSlot(FzALU, 0, 3, 0, 6), // addq rsi, rax (fall-through side)
+				fzSlot(FzLabel, 1),
+				fzSlot(FzALU, 1, 3, 0, 7), // subq rdi, rax (join)
+			}),
+		// #DE on most lanes but not all: the divisor register is zero in
+		// the base snapshot and nonzero on the lane that perturbs RBP. The
+		// fault continues in line — the batch must NOT split — and the jcc
+		// after it reads flags that are defined (zeroed) on faulting lanes
+		// and undefined on the surviving one.
+		seed("batch-divergent-de", de,
+			[][]byte{
+				fzSlot(FzDiv, 0, 5),       // divq rbp
+				fzSlot(FzJcc, 4, 2),       // jcc .L2 on the post-div flags
+				fzSlot(FzIncDec, 0, 3, 0), // incq rax
+				fzSlot(FzLabel, 2),
+				fzSlot(FzMovScalar, 3, 2, 0, 16), // movl eax, 16(rdi)
+			}),
+		// Two splits in sequence: the peel survivors rejoin at .L1 and must
+		// split again at the second jcc; edits delete and re-create the
+		// first jump so the same program runs both pure-lockstep and
+		// peeled.
+		seed("batch-peel-resplit", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzCmpTest, 0, 0, 7, 6), // cmpq rsi, rdi
+				fzSlot(FzJcc, 0, 1),           // jcc .L1: first split
+				fzSlot(FzALU, 0, 3, 0, 6),     // addq rsi, rax
+				fzSlot(FzLabel, 1),
+				fzSlot(FzCmpTest, 0, 0, 0, 6), // cmpq rsi, rax
+				fzSlot(FzJcc, 3, 2),           // jcc .L2: re-split after the join
+				fzSlot(FzIncDec, 2, 3, 0),     // negq rax
+				fzSlot(FzLabel, 2),
+				fzSlot(FzCmpTest, 2, 0, 1, 3), // setcc cl
+			},
+			fzEdit(1, fzSlot(FzUnused)),    // delete the first split: lockstep to .L1
+			fzEdit(1, fzSlot(FzJcc, 0, 1)), // and re-create it
+		),
+	)
 	return seeds
 }

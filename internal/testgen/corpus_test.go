@@ -168,6 +168,43 @@ func TestSeedCorpusCoversLivenessEdges(t *testing.T) {
 	}
 }
 
+// TestSeedCorpusCoversBatchDivergence: the batched-evaluator seeds must
+// decode to the lockstep edges they are named for — a branch on the input
+// flags, a lane-subset divide fault followed by a branch, and a shape that
+// re-splits the peeled side.
+func TestSeedCorpusCoversBatchDivergence(t *testing.T) {
+	fc := seedByName(t, "batch-jcc-on-input-flags")
+	if fc.Prog.Insts[0].Op != x64.Jcc {
+		t.Fatalf("batch-jcc-on-input-flags must branch first:\n%s", fc.Prog)
+	}
+	if fc.Snap.FlagsDef == x64.AllFlags {
+		t.Fatalf("batch-jcc-on-input-flags wants partially-defined input flags, got %v",
+			fc.Snap.FlagsDef)
+	}
+
+	fc = seedByName(t, "batch-divergent-de")
+	if fc.Prog.Insts[0].Op != x64.DIV || fc.Prog.Insts[1].Op != x64.Jcc {
+		t.Fatalf("batch-divergent-de decodes to:\n%s", fc.Prog)
+	}
+	if v := fc.Snap.Regs[x64.RBP]; v != 0 {
+		t.Fatalf("batch-divergent-de divisor = %#x, want 0 so the base lane faults", v)
+	}
+
+	fc = seedByName(t, "batch-peel-resplit")
+	jccs := 0
+	for _, in := range fc.Prog.Insts {
+		if in.Op == x64.Jcc {
+			jccs++
+		}
+	}
+	if jccs != 2 {
+		t.Fatalf("batch-peel-resplit has %d conditional jumps, want 2:\n%s", jccs, fc.Prog)
+	}
+	if len(fc.Edits) != 2 || fc.Edits[0].With.Op != x64.UNUSED || fc.Edits[1].With.Op != x64.Jcc {
+		t.Fatalf("batch-peel-resplit edits = %+v, want delete-then-recreate of the jump", fc.Edits)
+	}
+}
+
 // TestDecodeFuzzCaseTotal: arbitrary and empty inputs must decode without
 // panicking into runnable scenarios.
 func TestDecodeFuzzCaseTotal(t *testing.T) {

@@ -54,18 +54,28 @@
 // Candidate scoring runs on a decode-once compiled pipeline that covers
 // the whole proposal ISA — including the fixed-point SSE subset behind
 // WithSSE and the divide family — with no interpretive fallback on the
-// tracked kernels; the seed interpreter survives behind
+// tracked kernels. By default the tail of each full evaluation runs
+// batched: every compiled slot executes across all live testcase lanes in
+// lockstep before advancing (dispatch and operand decode paid once per
+// slot per chunk), diverging conditional jumps peel the minority side to
+// the scalar tail while the majority stays batched, and the head of the
+// adaptive testcase order keeps its one-testcase early-exit granularity —
+// so accept/reject decisions, costs and rejection profiles are
+// bit-identical to the per-testcase walk. WithBatchedEval(false) pins the
+// per-testcase loop; the seed interpreter survives behind
 // WithInterpretedEval as the semantic reference, held equal to the
 // compiled path by randomized and fuzz-grade differential tests
-// (internal/emu's FuzzCompiledVsInterpreted and FuzzPatchVsFreshCompile).
+// (internal/emu's FuzzCompiledVsInterpreted, FuzzPatchVsFreshCompile and
+// FuzzBatchedVsScalar).
 //
 // # Serving mode and the rewrite store
 //
 // Proven rewrites can be cached across runs, processes and machines:
 // WithRewriteStore attaches a content-addressed store (internal/store) in
 // which kernels are keyed by their canonical fingerprint (internal/canon —
-// register/label renaming, constant abstraction, live-out normalisation),
-// so α-equivalent submissions collide. A run whose fingerprint hits the
+// register/label renaming, constant abstraction, live-out normalisation,
+// commutative scale-1 addressing-form normalisation), so α-equivalent
+// submissions collide. A run whose fingerprint hits the
 // store returns the proven rewrite immediately — after replaying the
 // stored counterexample set plus freshly generated testcases through the
 // compiled evaluator as revalidation — without launching a search

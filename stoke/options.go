@@ -46,6 +46,7 @@ type settings struct {
 	observer       func(Event)
 	sse            *bool
 	interpreted    bool
+	batched        bool
 	tempering      bool
 	ladder         []float64
 	sharedProfile  bool
@@ -76,6 +77,7 @@ func defaultSettings() settings {
 		verify:         verify.DefaultConfig,
 		tempering:      true,
 		sharedProfile:  true,
+		batched:        true,
 	}
 }
 
@@ -265,6 +267,17 @@ func (st *settings) betaLadder(base float64, n int) []float64 {
 // debugging and A/B benchmarking of the evaluation substrate.
 func WithInterpretedEval() Option {
 	return func(st *settings) { st.interpreted = true }
+}
+
+// WithBatchedEval toggles batched lockstep evaluation on the compiled
+// pipeline (default on): the tail of each candidate evaluation runs all
+// remaining testcases through one emu.Batch sweep — dispatch and operand
+// decode paid once per instruction slot instead of once per (slot,
+// testcase) — with diverging testcases peeling off to the scalar path at
+// conditional jumps. Decision-identical to the scalar compiled pipeline;
+// pass false to A/B against it. Ignored under WithInterpretedEval.
+func WithBatchedEval(enabled bool) Option {
+	return func(st *settings) { st.batched = enabled }
 }
 
 // WithSSE forces vector opcodes on or off in the proposal distribution,

@@ -133,6 +133,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 			Cost:        newCost(0),
 			Rng:         rand.New(rand.NewSource(st.seed + 1000 + int64(i))),
 			Interpreted: st.interpreted,
+			Batched:     st.batched,
 		}
 		s.OnImprove = func(iter int64, c float64, p *x64.Program) {
 			e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
@@ -315,6 +316,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				Rng:          rand.New(rand.NewSource(chainSeed + int64(i))),
 				RestartAfter: st.restartAfter,
 				Interpreted:  st.interpreted,
+				Batched:      st.batched,
 			}
 			s.OnImprove = func(iter int64, c float64, p *x64.Program) {
 				e.emit(&st, Event{Kind: EventChainImproved, Kernel: k.Name,
