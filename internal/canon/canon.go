@@ -238,6 +238,22 @@ func (f *Form) FromCanon(q *x64.Program) (*x64.Program, bool) {
 	return renameProgram(q.Packed(), &f.fromCanon, &f.xmmFrom), true
 }
 
+// GPRToCanon maps a general-purpose register of the original space to its
+// canonical name under the form's bijection. Carrying a machine state into
+// canonical space (e.g. banking a counterexample) assigns, for each
+// original register r, the original value of r to the canonical register
+// GPRToCanon(r).
+func (f *Form) GPRToCanon(r x64.Reg) x64.Reg { return f.toCanon[r] }
+
+// GPRFromCanon is the inverse of GPRToCanon.
+func (f *Form) GPRFromCanon(r x64.Reg) x64.Reg { return f.fromCanon[r] }
+
+// XMMToCanon maps an XMM register index to its canonical name.
+func (f *Form) XMMToCanon(r x64.Reg) x64.Reg { return f.xmmTo[r] }
+
+// XMMFromCanon is the inverse of XMMToCanon.
+func (f *Form) XMMFromCanon(r x64.Reg) x64.Reg { return f.xmmFrom[r] }
+
 // SubstituteConsts returns a copy of p with every immediate and
 // displacement equal to old[i] replaced by new[i] — the near-miss
 // warm-start: a cached rewrite for one constant vector is re-literalised

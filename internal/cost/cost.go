@@ -460,6 +460,23 @@ func (f *Fn) AddTest(tc testgen.Testcase) {
 	f.rejects = append(f.rejects, 0)
 }
 
+// Agreement counts the testcases of f on which p's live outputs agree
+// exactly with the expected outputs (per-testcase cost zero under f's
+// mode). It is the observed-output breadth feature of the pre-verification
+// gate: a candidate agreeing on every testcase is τ-correct and worth a
+// proof now; narrow agreement predicts a NotEqual and argues for deferral.
+// Runs on the interpreted path and touches neither the adaptive order nor
+// the shared rejection profile.
+func (f *Fn) Agreement(p *x64.Program) int {
+	n := 0
+	for i := range f.Tests {
+		if f.evalOne(p, &f.Tests[i]) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // noteEval counts one compiled evaluation and periodically re-sorts the
 // testcase order by descending early-termination count (stable, so ties
 // keep their current relative order), decaying the counts afterwards.

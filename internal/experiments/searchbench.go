@@ -57,6 +57,14 @@ type SearchBaseline struct {
 	// Cache holds the rewrite-store baseline: cold search cost versus
 	// served cache-hit latency per kernel (see cachebench.go).
 	Cache []CacheRun `json:"cache_runs,omitempty"`
+
+	// Verify holds the verification-cost baseline: SAT calls, bank replay
+	// kills, gate deferrals and proof-time percentiles per kernel, with
+	// the bank and gate off versus on (see verifybench.go).
+	// VerifyVerdictsMatch records the acceptance invariant that both modes
+	// reached identical final verdicts on every kernel and seed.
+	Verify              []VerifyRun `json:"verify_runs,omitempty"`
+	VerifyVerdictsMatch bool        `json:"verify_verdicts_match,omitempty"`
 }
 
 // DefaultSearchKernels are the measured profiles: three synthesis

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/kernels"
+	"repro/stoke"
+)
+
+// VerifyRun is one measured kernel × mode of the verification-cost
+// baseline: how many equivalence queries the run actually sent to the SAT
+// solver, how many candidates the counterexample bank refuted by replay
+// and the pre-verification gate postponed, and the proof-time and
+// clause-count distribution of the queries that did run. "baseline"
+// disables the bank and the gate (every validation is a SAT call);
+// "banked" is the default pipeline, sharing one engine — and so one bank —
+// across every kernel and seed of the mode.
+type VerifyRun struct {
+	Kernel string `json:"kernel"`
+	Mode   string `json:"mode"`
+	Seeds  int    `json:"seeds"`
+
+	SATCalls        int `json:"sat_calls"`
+	ReplayKills     int `json:"replay_kills"`
+	GateDeferrals   int `json:"gate_deferrals"`
+	ModelMismatches int `json:"model_mismatches"`
+	Refinements     int `json:"refinements"`
+
+	ProofP50MS   float64 `json:"proof_p50_ms"`
+	ProofP99MS   float64 `json:"proof_p99_ms"`
+	ProofTotalMS float64 `json:"proof_total_ms"`
+	ClausesP50   int     `json:"clauses_p50"`
+	ClausesP99   int     `json:"clauses_p99"`
+
+	// Verdicts are the per-seed final verdicts, in seed order — the
+	// equivalence check across modes: the bank and the gate may only
+	// change how a verdict is reached, never which verdict.
+	Verdicts []string `json:"verdicts"`
+}
+
+// DefaultVerifyKernels are the verification-baseline profiles: small suite
+// kernels whose optimization-only runs verify in seconds and whose τ gaps
+// produce refinement counterexamples for the bank to replay.
+var DefaultVerifyKernels = []string{"p01", "p09", "p13"}
+
+// MeasureVerifyBaseline runs optimization-only searches over every named
+// kernel × seed, once with the verification pipeline disabled down to
+// plain SAT calls and once with the counterexample bank and gate on, and
+// reports the per-kernel proof-cost profiles. The runs are sequential
+// within a mode so the banked mode's engine accumulates counterexamples
+// across kernels and seeds, which is where replay kills come from.
+func MeasureVerifyBaseline(ctx context.Context, names []string, seeds int, proposals int64, tests int) ([]VerifyRun, bool, error) {
+	var out []VerifyRun
+	for _, mode := range []string{"baseline", "banked"} {
+		e := stoke.NewEngine(stoke.EngineConfig{})
+		for _, name := range names {
+			b, err := kernels.ByName(name)
+			if err != nil {
+				e.Close()
+				return nil, false, err
+			}
+			run := VerifyRun{Kernel: name, Mode: mode, Seeds: seeds}
+			var prof stoke.ProofProfile
+			for seed := 0; seed < seeds; seed++ {
+				opts := []stoke.Option{
+					stoke.WithSeed(1 + int64(seed)*stoke.KernelSeedStride),
+					stoke.WithChains(0, 2), // optimization-only: always reaches a verdict
+					stoke.WithBudgets(1, proposals),
+					stoke.WithEll(16),
+					stoke.WithTests(tests),
+				}
+				if mode == "baseline" {
+					opts = append(opts, stoke.WithCexBank(false), stoke.WithVerifyGate(false))
+				}
+				rep, err := e.Optimize(ctx, b.Kernel, opts...)
+				if err != nil {
+					e.Close()
+					return nil, false, fmt.Errorf("verify baseline %s/%s seed %d: %w", name, mode, seed, err)
+				}
+				if ctx.Err() != nil {
+					e.Close()
+					return nil, false, ctx.Err()
+				}
+				run.SATCalls += rep.Proofs.SATCalls
+				run.ReplayKills += rep.Proofs.ReplayKills
+				run.GateDeferrals += rep.Proofs.GateDeferrals
+				run.ModelMismatches += rep.Proofs.ModelMismatches
+				run.Refinements += rep.Refinements
+				run.Verdicts = append(run.Verdicts, rep.Verdict.String())
+				prof.Times = append(prof.Times, rep.Proofs.Times...)
+				prof.Clauses = append(prof.Clauses, rep.Proofs.Clauses...)
+			}
+			run.ProofP50MS = float64(prof.TimeP(0.50).Microseconds()) / 1e3
+			run.ProofP99MS = float64(prof.TimeP(0.99).Microseconds()) / 1e3
+			for _, d := range prof.Times {
+				run.ProofTotalMS += float64(d.Microseconds()) / 1e3
+			}
+			run.ClausesP50 = prof.ClausesP(0.50)
+			run.ClausesP99 = prof.ClausesP(0.99)
+			out = append(out, run)
+		}
+		e.Close()
+	}
+
+	// The acceptance invariant: identical final verdicts, mode against mode.
+	match := true
+	half := len(out) / 2
+	for i := 0; i < half; i++ {
+		a, b := out[i], out[half+i]
+		if len(a.Verdicts) != len(b.Verdicts) {
+			match = false
+			break
+		}
+		for j := range a.Verdicts {
+			if a.Verdicts[j] != b.Verdicts[j] {
+				match = false
+			}
+		}
+	}
+	return out, match, nil
+}
+
+// WriteVerifyBaseline measures the verification baseline and folds the
+// rows into the search-baseline JSON at path (created if absent, other
+// sections preserved otherwise).
+func WriteVerifyBaseline(ctx context.Context, path string, names []string, seeds int, proposals int64, tests int) ([]VerifyRun, error) {
+	runs, match, err := MeasureVerifyBaseline(ctx, names, seeds, proposals, tests)
+	if err != nil {
+		return nil, err
+	}
+	var base SearchBaseline
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &base); err != nil {
+			return nil, fmt.Errorf("verify baseline: existing %s is not a search baseline: %w", path, err)
+		}
+	}
+	base.Verify = runs
+	base.VerifyVerdictsMatch = match
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	return runs, os.WriteFile(path, data, 0o644)
+}
+
+// FormatVerifyBaseline renders the verify rows as the table stoke-bench
+// prints alongside the JSON.
+func FormatVerifyBaseline(runs []VerifyRun) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "%-5s %-9s sat %3d  replay-kills %3d  defers %3d  mismatches %d  p50 %7.1fms  p99 %7.1fms  clauses p50 %6d\n",
+			r.Kernel, r.Mode, r.SATCalls, r.ReplayKills, r.GateDeferrals,
+			r.ModelMismatches, r.ProofP50MS, r.ProofP99MS, r.ClausesP50)
+	}
+	return sb.String()
+}

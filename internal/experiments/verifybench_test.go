@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestVerifyBaselineDifferential runs the verification-cost baseline at a
+// test-sized budget and pins its two contracts on tracked kernels: the
+// bank and gate never change a final verdict (every mode pair agrees, and
+// every optimization-only run still ends SAT-proven Equal), and no tracked
+// kernel ever produces a symbolic-model/emulator mismatch.
+func TestVerifyBaselineDifferential(t *testing.T) {
+	runs, match, err := MeasureVerifyBaseline(context.Background(),
+		[]string{"p01", "p09"}, 2, 20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match {
+		t.Fatalf("final verdicts differ between baseline and banked modes: %+v", runs)
+	}
+	for _, r := range runs {
+		for _, v := range r.Verdicts {
+			if v != "equal" {
+				t.Errorf("%s/%s: final verdict %q, want every run SAT-proven equal", r.Kernel, r.Mode, v)
+			}
+		}
+		if r.ModelMismatches != 0 {
+			t.Errorf("%s/%s: %d symbolic-model/emulator mismatches on a tracked kernel",
+				r.Kernel, r.Mode, r.ModelMismatches)
+		}
+		if r.SATCalls == 0 {
+			t.Errorf("%s/%s: no SAT calls recorded — the proof profile is not being threaded", r.Kernel, r.Mode)
+		}
+		if r.Mode == "baseline" && (r.ReplayKills != 0 || r.GateDeferrals != 0) {
+			t.Errorf("baseline mode recorded replay kills %d / deferrals %d with the pipeline disabled",
+				r.ReplayKills, r.GateDeferrals)
+		}
+	}
+}

@@ -124,6 +124,12 @@ func (s *Solver) NumVars() int { return len(s.assign) }
 // Conflicts returns the total conflicts encountered so far.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
 
+// NumClauses returns the number of clauses currently in the database.
+// Read before Solve it is the encoded problem size (the observability
+// metric threaded into proof-cost histograms); after Solve it also counts
+// surviving learned clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assign)

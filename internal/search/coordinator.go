@@ -109,6 +109,15 @@ type Config struct {
 	// validations instead of spending SAT time.
 	IncumbentCost func() float64
 
+	// Defer, when set, is consulted after the cost-aware gate and before
+	// Validate: returning true postpones this round's proof of the pool
+	// head to a later validation round. It is the pre-verification gate's
+	// hook — a deferred candidate is re-offered at every subsequent
+	// scheduled round (the gate itself bounds how often it says true for
+	// one candidate), so deferral delays a proof but never skips it: no
+	// candidate is accepted on the gate's word alone.
+	Defer func(best *x64.Program) bool
+
 	// OnSwap and OnPrune observe coordination decisions (event streams).
 	OnSwap  func(i, j int, ci, cj float64)
 	OnPrune func(i int, adopted float64)
@@ -141,6 +150,7 @@ type Coordinator struct {
 	swaps       int
 	prunes      int
 	skippedVals int
+	deferrals   int
 	tests       int
 }
 
@@ -212,6 +222,13 @@ func (c *Coordinator) barrier() {
 			// Cost-aware gate: the pool head cannot beat the proven
 			// incumbent, so a proof would be wasted SAT time.
 			c.skippedVals++
+			return
+		}
+		if c.cfg.Defer != nil && c.cfg.Defer(c.pool[0].Prog) {
+			// Pre-verification gate: low-scoring pool head, proof deferred
+			// to a later scheduled round (never skipped — the gate bounds
+			// its own deferrals per candidate).
+			c.deferrals++
 			return
 		}
 		if tcs := c.cfg.Validate(c.pool[0].Prog); len(tcs) > 0 {
@@ -360,6 +377,10 @@ func (c *Coordinator) Prunes() int { return c.prunes }
 // SkippedValidations reports scheduled validation rounds skipped by the
 // cost-aware gate (pool head no better than the proven incumbent).
 func (c *Coordinator) SkippedValidations() int { return c.skippedVals }
+
+// Deferrals reports scheduled validation rounds postponed by the
+// pre-verification gate (Config.Defer returned true).
+func (c *Coordinator) Deferrals() int { return c.deferrals }
 
 // Ladder builds the default β ladder for n replicas: a mostly-cold shape
 // with the leading replicas at the phase's base β (matching the paper's

@@ -349,3 +349,80 @@ func TestLadder(t *testing.T) {
 		t.Fatalf("single-replica ladder must be the base alone, got %v", one)
 	}
 }
+
+// TestDeferHookPostponesValidation: the Defer hook postpones scheduled
+// validation rounds (counted as deferrals, validator untouched), runs only
+// after the cost-aware incumbent gate, and a false answer lets validation
+// proceed as before.
+func TestDeferHookPostponesValidation(t *testing.T) {
+	f := newFixture(t)
+
+	// Always-defer: the validator never runs, every consulted round counts.
+	fired, consulted := 0, 0
+	c := New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate: func(best *x64.Program) []testgen.Testcase {
+			fired++
+			return nil
+		},
+		Defer: func(best *x64.Program) bool {
+			consulted++
+			return true
+		},
+	}, f.runs(2, 11, 6000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if fired != 0 {
+		t.Fatalf("validator fired %d times under an always-defer gate", fired)
+	}
+	if consulted == 0 || c.Deferrals() != consulted {
+		t.Fatalf("Deferrals %d, consulted %d: every consult must count", c.Deferrals(), consulted)
+	}
+
+	// Never-defer: behaviour identical to no hook at all.
+	fired = 0
+	c = New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate: func(best *x64.Program) []testgen.Testcase {
+			fired++
+			return nil
+		},
+		Defer: func(best *x64.Program) bool { return false },
+	}, f.runs(2, 11, 6000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if fired == 0 {
+		t.Fatal("validator never fired under a never-defer gate")
+	}
+	if c.Deferrals() != 0 {
+		t.Fatalf("%d deferrals counted when the gate never deferred", c.Deferrals())
+	}
+
+	// Ordering: an unbeatable incumbent gates the round before the Defer
+	// hook is ever consulted — skips and deferrals stay distinct counters.
+	consulted = 0
+	c = New(Config{
+		Seed:          5,
+		Cadence:       512,
+		Tests:         len(f.tests),
+		ValidateEvery: 1,
+		Validate:      func(best *x64.Program) []testgen.Testcase { return nil },
+		IncumbentCost: func() float64 { return 0 },
+		Defer: func(best *x64.Program) bool {
+			consulted++
+			return true
+		},
+	}, f.runs(2, 11, 6000, nil))
+	c.Drive(context.Background(), serialBatch)
+	if consulted != 0 {
+		t.Fatalf("Defer consulted %d times behind a closed incumbent gate", consulted)
+	}
+	if c.Deferrals() != 0 || c.SkippedValidations() == 0 {
+		t.Fatalf("skips/deferrals conflated: deferrals=%d skips=%d",
+			c.Deferrals(), c.SkippedValidations())
+	}
+}

@@ -32,6 +32,21 @@ import (
 // records, not errors).
 const Version = 1
 
+// BankVersion is the schema version of the counterexample-bank field
+// (Entry.BankV / Entry.Bank). Bank payloads with any other version are
+// ignored on load — old logs without the field (BankV zero) still load,
+// they just contribute nothing to the bank.
+const BankVersion = 1
+
+// bankFP is the reserved pseudo-fingerprint under which the global
+// counterexample bank is persisted as an ordinary JSONL record. It is not
+// valid hex, so it can never collide with a real canon fingerprint.
+const bankFP = "!cexbank"
+
+// bankCap bounds the in-memory (and persisted) bank; the oldest
+// counterexamples are dropped first once it fills.
+const bankCap = 1024
+
 // Cex is a stored counterexample input: the register state that once
 // distinguished a candidate from the target. Memory is not stored — replay
 // rebuilds a shape-correct snapshot from the kernel's own input spec and
@@ -75,6 +90,17 @@ type Entry struct {
 	// profile) learned during the search that produced the rewrite.
 	Profile []int64 `json:"profile,omitempty"`
 
+	// BankV versions the Bank field independently of the record format;
+	// payloads whose BankV differs from BankVersion are ignored on load.
+	BankV int `json:"bank_v,omitempty"`
+
+	// Bank holds counterexamples in *canonical* register space (mapped
+	// through the submitting kernel's canon.Form bijection), so a cex found
+	// on one kernel replays on every α-renamed sibling. Entries under the
+	// reserved bank key carry the whole global bank here; regular entries
+	// carry the canonicalised cexs of their own kernel.
+	Bank []Cex `json:"bank,omitempty"`
+
 	Meta Meta `json:"meta"`
 }
 
@@ -105,6 +131,7 @@ type Stats struct {
 	BadRecords int64 `json:"bad_records"`
 	DiskReads  int64 `json:"disk_reads"`
 	Compacts   int64 `json:"compacts"`
+	BankSize   int   `json:"bank_size,omitempty"`
 }
 
 // Store is the cache. All methods are safe for concurrent use.
@@ -119,6 +146,9 @@ type Store struct {
 
 	appended int // records appended since the last compaction
 	stats    Stats
+
+	bank     []Cex            // global cross-kernel counterexample bank, oldest first
+	bankSeen map[Cex]struct{} // dedup index over bank
 }
 
 // DefaultCap is the in-memory entry cap used when Open is given a
@@ -132,11 +162,12 @@ func Open(path string, memCap int) (*Store, error) {
 		memCap = DefaultCap
 	}
 	s := &Store{
-		path: path,
-		cap:  memCap,
-		mem:  make(map[string]*list.Element),
-		lru:  list.New(),
-		byFP: make(map[string][]string),
+		path:     path,
+		cap:      memCap,
+		mem:      make(map[string]*list.Element),
+		lru:      list.New(),
+		byFP:     make(map[string][]string),
+		bankSeen: make(map[Cex]struct{}),
 	}
 	if path == "" {
 		return s, nil
@@ -153,14 +184,62 @@ func Open(path string, memCap int) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	s.scan(f, func(e *Entry) { s.insert(e, false) })
+	lines := s.scan(f, func(e *Entry) {
+		s.foldBank(e)
+		if e.FP == bankFP {
+			return // reserved bank record, not a rewrite entry
+		}
+		s.insert(e, false)
+	})
+	f.Close()
+	// Open replays the whole log; a long-lived process restarted against a
+	// log dominated by superseded lines would otherwise pay that cost on
+	// every start, forever (compaction only ran on Put paths). Compact here
+	// when dead lines dominate live keys. Failure is non-fatal: the store
+	// loaded fine, compaction is an optimisation.
+	live := s.keyCount()
+	if len(s.bank) > 0 {
+		live++
+	}
+	if lines > 64 && lines > 2*live {
+		_ = s.compactLocked()
+	}
 	return s, nil
 }
 
+// foldBank merges any versioned bank payload carried by e into the global
+// counterexample bank (deduplicated, bounded). Caller holds mu or is still
+// single-threaded in Open.
+func (s *Store) foldBank(e *Entry) {
+	if e.BankV != BankVersion {
+		return
+	}
+	for _, cx := range e.Bank {
+		s.addCexLocked(cx)
+	}
+}
+
+// addCexLocked adds one cex to the bank unless already present, evicting
+// the oldest once the bank is full. Reports whether cx was new.
+func (s *Store) addCexLocked(cx Cex) bool {
+	if _, ok := s.bankSeen[cx]; ok {
+		return false
+	}
+	if len(s.bank) >= bankCap {
+		delete(s.bankSeen, s.bank[0])
+		s.bank = s.bank[1:]
+	}
+	s.bank = append(s.bank, cx)
+	s.bankSeen[cx] = struct{}{}
+	return true
+}
+
 // scan walks a JSONL stream, calling emit for every well-formed
-// current-version record and counting the rest as bad.
-func (s *Store) scan(f *os.File, emit func(*Entry)) {
+// current-version record and counting the rest as bad. Returns the number
+// of non-empty lines seen (well-formed or not), so Open can judge the
+// dead-line ratio.
+func (s *Store) scan(f *os.File, emit func(*Entry)) int {
+	lines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
@@ -168,6 +247,7 @@ func (s *Store) scan(f *os.File, emit func(*Entry)) {
 		if len(line) == 0 {
 			continue
 		}
+		lines++
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil || e.Version != Version || e.FP == "" {
 			s.stats.BadRecords++
@@ -180,6 +260,7 @@ func (s *Store) scan(f *os.File, emit func(*Entry)) {
 	if sc.Err() != nil {
 		s.stats.BadRecords++
 	}
+	return lines
 }
 
 // insert places e in the memory front (latest version of a key wins) and
@@ -310,6 +391,7 @@ func (s *Store) Put(e *Entry) error {
 	defer s.mu.Unlock()
 	e.Version = Version
 	s.insert(e, true)
+	s.foldBank(e)
 	s.stats.Puts++
 	if s.path == "" {
 		return nil
@@ -332,6 +414,62 @@ func (s *Store) Put(e *Entry) error {
 		return s.compactLocked()
 	}
 	return nil
+}
+
+// AddCexs merges cexs (in canonical register space) into the global
+// counterexample bank and, when any were new, persists the whole bank
+// under its reserved key — one JSONL record, superseded in place by the
+// next persist and collapsed to the latest copy on compaction.
+func (s *Store) AddCexs(cexs []Cex) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := false
+	for _, cx := range cexs {
+		if s.addCexLocked(cx) {
+			added = true
+		}
+	}
+	if !added || s.path == "" {
+		return nil
+	}
+	e := &Entry{
+		Version: Version,
+		FP:      bankFP,
+		BankV:   BankVersion,
+		Bank:    append([]Cex(nil), s.bank...),
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		return fmt.Errorf("store: append: %w", firstErr(werr, cerr))
+	}
+	s.appended++
+	if s.appended > 64 && s.appended > 2*s.keyCount() {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// BankCexs snapshots the global counterexample bank, oldest first.
+func (s *Store) BankCexs() []Cex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Cex(nil), s.bank...)
+}
+
+// BankLen reports the number of distinct counterexamples in the bank.
+func (s *Store) BankLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bank)
 }
 
 func firstErr(errs ...error) error {
@@ -392,6 +530,13 @@ func (s *Store) compactLocked() error {
 			}
 		}
 	}
+	if len(s.bank) > 0 {
+		be := &Entry{Version: Version, FP: bankFP, BankV: BankVersion, Bank: s.bank}
+		if err := enc.Encode(be); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
 	if err := w.Flush(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
@@ -421,6 +566,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = s.keyCount()
+	st.BankSize = len(s.bank)
 	return st
 }
 

@@ -157,9 +157,10 @@ func Equivalent(ctx context.Context, target, rewrite *x64.Program, live LiveOut,
 	bl := bv.NewBlaster(s)
 	bl.AssertTrue(diff)
 	bl.AssertFunConsistency(b)
+	clauses := s.NumClauses() // encoded problem size, before learned clauses
 
 	st, model := s.SolveModel()
-	res := Result{Conflicts: s.Conflicts()}
+	res := Result{Conflicts: s.Conflicts(), Clauses: clauses}
 	switch st {
 	case sat.Unsat:
 		res.Verdict = Equal

@@ -81,6 +81,22 @@ func (e *Engine) cacheProbe(k Kernel, st *settings, form *canon.Form,
 
 	m := emu.New()
 
+	// entryCexs picks an entry's counterexample set for replay: the
+	// canonical-space Bank (mapped into the submitter's register space
+	// through *this* submission's form, so α-renamed siblings replay
+	// correctly) when its schema version matches, else the legacy Cexs
+	// recorded in the original submitter's register space.
+	entryCexs := func(entry *store.Entry) []store.Cex {
+		if entry.BankV != store.BankVersion || len(entry.Bank) == 0 {
+			return entry.Cexs
+		}
+		out := make([]store.Cex, len(entry.Bank))
+		for i, cx := range entry.Bank {
+			out[i] = kernelCex(form, cx)
+		}
+		return out
+	}
+
 	// revalidate checks a mapped-back candidate against the generated
 	// testcases plus the entry's replayed counterexample set, in strict
 	// mode through the compiled evaluator.
@@ -100,7 +116,7 @@ func (e *Engine) cacheProbe(k Kernel, st *settings, form *canon.Form,
 
 	if entry, ok := st.store.Get(form.FP.Hex(), form.Consts); ok {
 		if p, err := x64.Parse(entry.Rewrite); err == nil {
-			if mapped, ok := form.FromCanon(p); ok && revalidate(mapped, entry.Cexs) {
+			if mapped, ok := form.FromCanon(p); ok && revalidate(mapped, entryCexs(entry)) {
 				return mapped, nil
 			}
 		}
@@ -122,7 +138,7 @@ func (e *Engine) cacheProbe(k Kernel, st *settings, form *canon.Form,
 			continue
 		}
 		warm := &cacheWarm{start: mapped, profile: entry.Profile, costH: entry.CostH}
-		for _, cx := range entry.Cexs {
+		for _, cx := range entryCexs(entry) {
 			if tc, ok := replayCex(k, m, rng, cx); ok {
 				warm.tests = append(warm.tests, tc)
 			}
@@ -171,6 +187,16 @@ func cachePut(k Kernel, st *settings, form *canon.Form, rep *Report,
 		cx.Regs = tc.In.Regs
 		cx.Xmm = tc.In.Xmm
 		entry.Cexs = append(entry.Cexs, cx)
+	}
+	// The Bank field carries the same counterexamples in canonical space
+	// (versioned separately), so any α-renamed sibling submission — whose
+	// registers this kernel's Cexs say nothing about — replays them
+	// correctly, and the store folds them into the global bank on load.
+	if len(entry.Cexs) > 0 {
+		entry.BankV = store.BankVersion
+		for _, tc := range tests[generated:] {
+			entry.Bank = append(entry.Bank, canonCex(form, tc.In))
+		}
 	}
 	_ = st.store.Put(entry) // persistence failure degrades to cache-cold, never fails the run
 }

@@ -68,6 +68,42 @@
 // (internal/emu's FuzzCompiledVsInterpreted, FuzzPatchVsFreshCompile and
 // FuzzBatchedVsScalar).
 //
+// # Verification pipeline
+//
+// Candidates reaching the validator are not sent straight to the SAT
+// solver; each one runs the ordering replay → gate → SAT:
+//
+//   - Counterexample replay. Every genuine counterexample any run
+//     discovers is canonicalised (internal/canon register bijections) into
+//     a global bank — the attached rewrite store when there is one, an
+//     engine-private in-memory bank otherwise — and every later candidate,
+//     on any kernel, α-renamed or not, is first replayed against the
+//     banked states through the compiled evaluator. A divergence is a
+//     NotEqual verdict at evaluator cost, with no solver query
+//     (Report.Proofs.ReplayKills, EventReplayKill).
+//   - Pre-verification gate. Candidates scoring low on observed-output
+//     agreement breadth, opcode-set similarity to the target, and
+//     cost-margin plausibility against the proven incumbent have their
+//     mid-search proof postponed — at most a bounded number of times — to
+//     a later validation round (Report.Proofs.GateDeferrals,
+//     EventGateDefer). WithVerifyGate(false) disables the gate,
+//     WithCexBank(false) the bank.
+//   - SAT. Whatever survives is proven by verify.Equivalent, with each
+//     query's wall-clock and encoded clause count recorded in
+//     Report.Proofs (TimeP/ClausesP percentiles).
+//
+// Both shortcuts are soundness-preserving by construction. A replay kill
+// rests on re-running the *target* concretely on the banked state, so the
+// refuting testcase is the same evidence a SAT counterexample yields; a
+// stale or foreign bank entry either fails to materialise or produces a
+// testcase the candidate passes, degrading to the plain SAT call, never a
+// wrong kill. The gate only defers — the end-of-round validation loop
+// never consults it — so every rewrite served or reported as proven is
+// still backed by a SAT Equal. Budget-exhausted Unknown verdicts are never
+// memoized (a later round may afford the proof); a symbolic NotEqual whose
+// counterexample fails to reproduce on the emulator is surfaced as
+// EventModelMismatch and counted, never silently downgraded.
+//
 // # Serving mode and the rewrite store
 //
 // Proven rewrites can be cached across runs, processes and machines:

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // EngineConfig sizes an Engine.
@@ -36,6 +38,11 @@ type Engine struct {
 	// tests and the serving layer assert a request was answered from the
 	// store rather than by a fresh search.
 	searches atomic.Int64
+
+	// bank is the engine's private in-memory counterexample bank, the
+	// cross-kernel replay source for runs without an attached rewrite
+	// store (runs with one bank into the store instead, which persists).
+	bank *store.Store
 }
 
 // SearchesLaunched reports how many runs on this engine proceeded into an
@@ -47,7 +54,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: cfg.Workers, tasks: make(chan func())}
+	bank, _ := store.Open("", 0) // memory-only: cannot fail
+	e := &Engine{workers: cfg.Workers, tasks: make(chan func()), bank: bank}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go func() {

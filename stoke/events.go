@@ -40,6 +40,19 @@ const (
 	// rewrite for the same canonical skeleton (different constants)
 	// seeded the optimization chains, τ and the rejection profile.
 	EventWarmStart
+	// EventReplayKill reports a candidate refuted by replaying a banked
+	// counterexample through the compiled evaluator — a NotEqual
+	// established without a SAT call.
+	EventReplayKill
+	// EventGateDefer reports the pre-verification gate postponing a
+	// low-scoring candidate's proof to a later validation round (never
+	// skipping it: deferral is bounded per candidate).
+	EventGateDefer
+	// EventModelMismatch reports a symbolic-model/emulator disagreement: a
+	// SAT NotEqual whose extracted counterexample fails to reproduce any
+	// divergence on the emulator. It is a latent soundness signal, not a
+	// non-verdict; tracked kernels must never produce one.
+	EventModelMismatch
 )
 
 func (k EventKind) String() string {
@@ -62,6 +75,12 @@ func (k EventKind) String() string {
 		return "cache-hit"
 	case EventWarmStart:
 		return "warm-start"
+	case EventReplayKill:
+		return "replay-kill"
+	case EventGateDefer:
+		return "gate-defer"
+	case EventModelMismatch:
+		return "model-mismatch"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -130,6 +149,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%s] cache hit: proven rewrite served from the store", e.Kernel)
 	case EventWarmStart:
 		return fmt.Sprintf("[%s] near-miss warm start from the store (cost %.1f)", e.Kernel, e.Cost)
+	case EventReplayKill:
+		return fmt.Sprintf("[%s] replay kill: banked counterexample refuted the candidate without a proof", e.Kernel)
+	case EventGateDefer:
+		return fmt.Sprintf("[%s] gate: proof deferred to a later validation round", e.Kernel)
+	case EventModelMismatch:
+		return fmt.Sprintf("[%s] MODEL MISMATCH: symbolic NotEqual but the counterexample does not reproduce on the emulator", e.Kernel)
 	}
 	return fmt.Sprintf("[%s] %v", e.Kernel, e.Kind)
 }

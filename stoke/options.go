@@ -52,6 +52,8 @@ type settings struct {
 	sharedProfile  bool
 	store          *store.Store
 	cacheOnly      bool
+	cexBank        bool
+	verifyGate     bool
 
 	// emitMu serializes this run's observer callbacks. It is per-resolve
 	// (shared by OptimizeAll's per-kernel copies, distinct across runs),
@@ -78,6 +80,8 @@ func defaultSettings() settings {
 		tempering:      true,
 		sharedProfile:  true,
 		batched:        true,
+		cexBank:        true,
+		verifyGate:     true,
 	}
 }
 
@@ -236,6 +240,32 @@ func WithRewriteStore(s *store.Store) Option {
 // WithRewriteStore.
 func WithCacheOnly() Option {
 	return func(st *settings) { st.cacheOnly = true }
+}
+
+// WithCexBank toggles the global cross-kernel counterexample bank
+// (default on): every genuine counterexample discovered by any run is
+// canonicalised into the bank (on the attached rewrite store when one is
+// configured, otherwise on the engine's private in-memory bank), and every
+// candidate reaching validation first replays the banked counterexamples
+// through the compiled evaluator — a replayed divergence is a NotEqual
+// without a SAT call. Replay is sound by construction: the refuting
+// testcase is re-derived by running the *target* concretely, so a stale or
+// poisoned bank entry can never refute a correct candidate — it just falls
+// through to the SAT proof.
+func WithCexBank(enabled bool) Option {
+	return func(st *settings) { st.cexBank = enabled }
+}
+
+// WithVerifyGate toggles the feature-based pre-verification gate (default
+// on): before a scheduled mid-search proof, the candidate is scored on
+// observed-output agreement breadth, Eq.13 cost margin over the incumbent,
+// and opcode-set distance from the target; low scorers have their proof
+// deferred to a later validation round. Deferral is bounded per candidate
+// and end-of-round validation never consults the gate, so every reported
+// verdict is still SAT-backed — the gate shifts proof attempts toward
+// candidates likely to survive them, it never skips a proof.
+func WithVerifyGate(enabled bool) Option {
+	return func(st *settings) { st.verifyGate = enabled }
 }
 
 // betaLadder resolves a phase's per-replica inverse temperatures: the

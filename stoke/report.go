@@ -1,6 +1,8 @@
 package stoke
 
 import (
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/mcmc"
@@ -62,8 +64,89 @@ type Report struct {
 	CacheHit    bool
 	Fingerprint string
 
+	// Proofs profiles the run's verification pipeline: how many candidates
+	// were killed by banked-counterexample replay or deferred by the
+	// pre-verification gate before any SAT call, how many queries actually
+	// reached the solver, and the per-query wall-clock and clause-count
+	// samples behind the proof-time histograms in BENCH_search.json.
+	Proofs ProofProfile
+
 	Stats mcmc.Stats
 	Tests int
+}
+
+// ProofProfile aggregates verification-pipeline observability for one run.
+type ProofProfile struct {
+	// SATCalls counts queries that reached verify.Equivalent's solver
+	// (including the structural fast path — every call to the prover).
+	SATCalls int
+
+	// ReplayKills counts candidates refuted by replaying a banked
+	// counterexample through the compiled evaluator: NotEqual verdicts
+	// established without a SAT call.
+	ReplayKills int
+
+	// GateDeferrals counts scheduled validation rounds the feature gate
+	// postponed (each deferral is bounded per candidate — a deferred proof
+	// always runs eventually).
+	GateDeferrals int
+
+	// ModelMismatches counts symbolic NotEqual verdicts whose extracted
+	// counterexample failed to reproduce divergence on the emulator — a
+	// latent symbolic-model/emulator disagreement. Must stay zero on the
+	// tracked kernels.
+	ModelMismatches int
+
+	// Times and Clauses are per-SAT-query samples: wall-clock spent in
+	// verify.Equivalent and the encoded problem's clause count.
+	Times   []time.Duration
+	Clauses []int
+}
+
+// TimeP returns the q-quantile (0 ≤ q ≤ 1, nearest-rank) of the per-query
+// proof times, or zero with no samples.
+func (p *ProofProfile) TimeP(q float64) time.Duration {
+	i, ok := rankIndex(len(p.Times), q)
+	if !ok {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), p.Times...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return sorted[i]
+}
+
+// ClausesP returns the q-quantile (nearest-rank) of the per-query clause
+// counts, or zero with no samples.
+func (p *ProofProfile) ClausesP(q float64) int {
+	i, ok := rankIndex(len(p.Clauses), q)
+	if !ok {
+		return 0
+	}
+	sorted := append([]int(nil), p.Clauses...)
+	sort.Ints(sorted)
+	return sorted[i]
+}
+
+// rankIndex maps a quantile onto a nearest-rank index into n sorted
+// samples.
+func rankIndex(n int, q float64) (int, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i, true
 }
 
 // Speedup is the modelled speedup of the rewrite over the target.

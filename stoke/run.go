@@ -54,9 +54,14 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	// a fingerprint-class near-miss yields warm-start material. ---
 	var form *canon.Form
 	var warm *cacheWarm
+	if st.store != nil || st.cexBank {
+		// The canonical form also carries counterexamples between this
+		// kernel's register space and the bank's canonical space, so it is
+		// computed even without a store when the cex bank is on.
+		form = canon.Canonicalize(k.Target, liveOutFor(k))
+	}
 	if st.store != nil {
 		probeStart := time.Now()
-		form = canon.Canonicalize(k.Target, liveOutFor(k))
 		rep.Fingerprint = form.FP.Hex()
 		var hit *x64.Program
 		hit, warm = e.cacheProbe(k, &st, form, tests, rng)
@@ -232,23 +237,40 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	// loop, which is gated only by the verdict cache.
 	incumbentH := perf.H(k.Target)
 
-	// validated caches concluded verdicts per candidate listing, shared by
-	// the mid-search validator and the end-of-round validation loop, so a
-	// candidate proven Equal at a barrier never pays for a second proof.
-	// NotEqual entries mark candidates whose genuine counterexample is
-	// already folded into τ (the refined testcases keep them out of the
-	// re-ranking); inconclusive refutations cache as Unknown.
-	validated := map[string]verify.Verdict{}
-	runVerify := func(cand *x64.Program) verify.Result {
-		var res verify.Result
-		var vdur time.Duration
-		e.runTask(ctx, func() {
-			vStart := time.Now()
-			res = verify.Equivalent(ctx, k.Target, cand, live, st.verify)
-			vdur = time.Since(vStart)
-		})
-		rep.VerifyTime += vdur
-		return res
+	// vrf is the verification pipeline in front of the solver: a verdict
+	// memo shared by the mid-search validator and the end-of-round
+	// validation loop (a candidate proven Equal at a barrier never pays
+	// for a second proof; budget-exhausted Unknowns are NOT memoized, so
+	// later rounds can retry), banked-counterexample replay before any SAT
+	// call, the pre-verification gate, and per-query proof-cost samples.
+	bank := e.bank
+	if st.store != nil {
+		bank = st.store // a persistent store doubles as the bank
+	}
+	if !st.cexBank {
+		bank = nil
+	}
+	vrf := &verifier{
+		e: e, st: &st, k: k, m: m, rng: rng, rep: rep,
+		form:       form,
+		bank:       bank,
+		bankRng:    rand.New(rand.NewSource(st.seed + 424243)),
+		validated:  map[string]verify.Verdict{},
+		defers:     map[string]int{},
+		targetOps:  opcodeSet(k.Target),
+		curTests:   func() []testgen.Testcase { return tests },
+		incumbentH: func() float64 { return incumbentH },
+		prove: func(cand *x64.Program) (verify.Result, time.Duration) {
+			var res verify.Result
+			var vdur time.Duration
+			e.runTask(ctx, func() {
+				vStart := time.Now()
+				res = verify.Equivalent(ctx, k.Target, cand, live, st.verify)
+				vdur = time.Since(vStart)
+			})
+			rep.VerifyTime += vdur
+			return res, vdur
+		},
 	}
 
 	for round := 0; ; round++ {
@@ -265,40 +287,35 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		// correct candidate, and a genuine counterexample comes back as a
 		// testcase the coordinator broadcasts to every live chain — not
 		// just the chain that found the candidate.
+		vrf.round = round
 		midValidate := func(cand *x64.Program) []testgen.Testcase {
 			if ctx.Err() != nil {
 				return nil
 			}
-			key := cand.String()
-			if _, seen := validated[key]; seen {
+			out := vrf.check(cand)
+			if out.cached {
 				return nil
 			}
-			res := runVerify(cand)
-			if res.Verdict == verify.Unknown && ctx.Err() != nil {
+			if out.verdict == verify.Unknown && ctx.Err() != nil {
 				return nil // truncated proof, not a verdict
 			}
-			e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
-				Round: round, Verdict: res.Verdict})
-			if res.Verdict != verify.NotEqual {
-				validated[key] = res.Verdict
-				if res.Verdict == verify.Equal {
-					if h := perf.H(cand); h < incumbentH {
-						incumbentH = h
-					}
+			if !out.replayKill {
+				e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
+					Round: round, Verdict: out.verdict})
+			}
+			if out.verdict == verify.Equal {
+				if h := perf.H(cand); h < incumbentH {
+					incumbentH = h
 				}
+			}
+			if !out.refined {
 				return nil
 			}
-			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, cand)
-			if !genuine {
-				validated[key] = verify.Unknown
-				return nil
-			}
-			validated[key] = verify.NotEqual
-			tests = append(tests[:len(tests):len(tests)], tc)
+			tests = append(tests[:len(tests):len(tests)], out.tc)
 			rep.Refinements++
 			e.emit(&st, Event{Kind: EventRefinement, Kernel: k.Name,
 				Round: round, Tests: len(tests)})
-			return []testgen.Testcase{tc}
+			return []testgen.Testcase{out.tc}
 		}
 
 		nChains := st.optChains * len(starts)
@@ -344,6 +361,9 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 			cfg.ValidateEvery = midValidateEvery
 			cfg.Validate = midValidate
 			cfg.IncumbentCost = func() float64 { return incumbentH }
+			if st.verifyGate {
+				cfg.Defer = vrf.shouldDefer
+			}
 		}
 		optCoord := search.New(cfg, optRuns)
 		optCoord.Drive(ctx, func(bodies []func()) {
@@ -415,47 +435,37 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 				break
 			}
 
-			// A candidate the mid-search validator already concluded on
-			// skips the proof; NotEqual is never cached without its
-			// counterexample folded into τ, so such candidates cannot
-			// survive fastestSurvivor and reach here. Timed inside the
-			// task: like SynthTime/OptTime, VerifyTime excludes time
-			// queued behind other runs on the shared pool.
-			var res verify.Result
-			if v, seen := validated[best.String()]; seen && v != verify.NotEqual {
-				res = verify.Result{Verdict: v}
-			} else {
-				res = runVerify(best)
-				if res.Verdict != verify.NotEqual &&
-					!(res.Verdict == verify.Unknown && ctx.Err() != nil) {
-					validated[best.String()] = res.Verdict
-				}
-			}
-			if res.Verdict == verify.Unknown && ctx.Err() != nil {
+			// The verification pipeline: memo (a candidate the mid-search
+			// validator already concluded on skips the proof), bank
+			// replay, then SAT. The end-of-round loop never consults the
+			// gate — every final verdict is replay- or SAT-backed. Proof
+			// time lands in VerifyTime via the prove closure: like
+			// SynthTime/OptTime it excludes time queued behind other runs
+			// on the shared pool.
+			out := vrf.check(best)
+			if out.verdict == verify.Unknown && !out.cached && ctx.Err() != nil {
 				verifyCancelled = true
 			}
-			verdict = res.Verdict
+			verdict = out.verdict
 			e.emit(&st, Event{Kind: EventVerdict, Kernel: k.Name,
-				Round: round, Verdict: res.Verdict})
-			if res.Verdict != verify.NotEqual {
-				if res.Verdict == verify.Equal {
+				Round: round, Verdict: out.verdict})
+			if out.verdict != verify.NotEqual {
+				if out.verdict == verify.Equal {
 					if h := perf.H(best); h < incumbentH {
 						incumbentH = h
 					}
 				}
 				break
 			}
-			tc, genuine := cexTestcase(k, m, rng, res.Cex, k.Target, best)
-			if !genuine {
-				// Uninterpreted-function artefact: the counterexample does
-				// not concretely distinguish the programs. The proof
-				// attempt is inconclusive rather than refuting.
-				validated[best.String()] = verify.Unknown
+			if !out.refined {
+				// A cached NotEqual has its counterexample folded into τ
+				// already, so it cannot survive fastestSurvivor and reach
+				// here; defensively treat it as inconclusive rather than
+				// refining with a zero testcase.
 				verdict = verify.Unknown
 				break
 			}
-			validated[best.String()] = verify.NotEqual
-			tests = append(tests[:len(tests):len(tests)], tc)
+			tests = append(tests[:len(tests):len(tests)], out.tc)
 			// Keep the shared profile's counters covering the refined τ,
 			// so the next round's chains can learn (and warm-start on)
 			// the new testcase's discriminating power.
