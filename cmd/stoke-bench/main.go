@@ -6,6 +6,7 @@
 //	stoke-bench -fig 10         # one figure
 //	stoke-bench -profile full   # larger search budgets
 //	stoke-bench -eval-baseline BENCH_eval.json     # evaluation throughput A/B
+//	stoke-bench -check BENCH_eval.json             # fail on >35% ratio regression vs the committed baseline
 //	stoke-bench -search-baseline BENCH_search.json # tempering vs independent A/B
 //	stoke-bench -cache-baseline BENCH_search.json  # rewrite-store cold vs served hit
 //	stoke-bench -verify-baseline BENCH_search.json # cex-bank replay + gate vs plain SAT calls
@@ -26,11 +27,12 @@ import (
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate (0 = all)")
-		profile  = flag.String("profile", "quick", "search budget profile (quick or full)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		evalOut  = flag.String("eval-baseline", "", "write the evaluation-throughput baseline JSON to this path and exit")
-		evalProp = flag.Int64("eval-proposals", 300000, "proposal budget per eval-baseline configuration")
+		fig       = flag.Int("fig", 0, "figure to regenerate (0 = all)")
+		profile   = flag.String("profile", "quick", "search budget profile (quick or full)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		evalOut   = flag.String("eval-baseline", "", "write the evaluation-throughput baseline JSON to this path and exit")
+		evalProp  = flag.Int64("eval-proposals", 300000, "proposal budget per eval-baseline configuration")
+		evalCheck = flag.String("check", "", "measure a fresh evaluation baseline and fail if its ratios regressed >35% against the committed JSON at this path")
 
 		searchOut     = flag.String("search-baseline", "", "write the search-coordination baseline JSON (tempering vs independent chains) to this path and exit")
 		searchKernels = flag.String("search-kernels", strings.Join(experiments.DefaultSearchKernels, ","), "comma-separated kernels for -search-baseline")
@@ -73,6 +75,30 @@ func main() {
 		}
 		for k, v := range base.FlagFree {
 			fmt.Printf("flag-free %-12s %.0f%% of flag-writing slots\n", k, 100*v)
+		}
+		for k, v := range base.RegFree {
+			fmt.Printf("reg-free  %-12s %.0f%% of register-writing slots\n", k, 100*v)
+		}
+		return
+	}
+
+	// The regression guard re-measures the evaluation baseline and compares
+	// its box-independent ratios (speedups and liveness coverage fractions)
+	// against the committed BENCH_eval.json, failing the build on a >35%
+	// regression of any tracked row.
+	if *evalCheck != "" {
+		fresh, err := experiments.CheckEvalBaseline(*evalCheck, *evalProp)
+		if err != nil {
+			fail(err)
+		}
+		for k, v := range fresh.Speedups {
+			fmt.Printf("speedup %-12s %.2fx (within tolerance)\n", k, v)
+		}
+		for k, v := range fresh.BatchedSpeedups {
+			fmt.Printf("batched-speedup %-12s %.2fx (within tolerance)\n", k, v)
+		}
+		for k, v := range fresh.RegFree {
+			fmt.Printf("reg-free %-12s %.0f%% (within tolerance)\n", k, 100*v)
 		}
 		return
 	}

@@ -211,6 +211,14 @@ type Fn struct {
 	// scan is O(n) byte lookups instead of O(n²).
 	memGot []byte
 	memOk  []bool
+
+	// liveExit, when set (NewLive), makes Compile thread the kernel's
+	// live-out register sets into the compiled form's register-liveness
+	// pass, so dead register writes are suppressed. liveGPR/liveXMM are
+	// the exit-gen bitmasks derived from Live.
+	liveExit bool
+	liveGPR  uint16
+	liveXMM  uint16
 }
 
 // reorderEvery is how many compiled evaluations pass between re-sorts of
@@ -228,6 +236,30 @@ func New(tests []testgen.Testcase, live testgen.LiveSet, mode Mode, perfWeight f
 		PerfWeight: perfWeight,
 		m:          emu.New(),
 	}
+}
+
+// NewLive builds a cost function whose Compile threads the kernel's
+// live-out register sets into the compiled form's register-liveness pass
+// (emu.CompileLive): candidate writes to registers the live set cannot
+// observe are suppressed, leaving whatever value the register held. The
+// equality terms are unchanged — they only read live state — but the
+// Improved metric's rival scan reads every GPR, so non-live register
+// values (and with them the heuristic misplacement credit) may differ
+// from New's. Accept/reject decisions on correct rewrites are identical.
+//
+// Whole registers are conservative: a GPR live at any width keeps all 64
+// bits live, so partial-width live-outs never expose a suppressed upper
+// half.
+func NewLive(tests []testgen.Testcase, live testgen.LiveSet, mode Mode, perfWeight float64) *Fn {
+	f := New(tests, live, mode, perfWeight)
+	f.liveExit = true
+	for _, lr := range live.GPRs {
+		f.liveGPR |= 1 << lr.Reg
+	}
+	for _, xr := range live.Xmms {
+		f.liveXMM |= 1 << xr
+	}
+	return f
 }
 
 // Result reports one evaluation.
@@ -289,8 +321,14 @@ func (f *Fn) noteReject(ti int) {
 
 // Compile lowers p into the decode-once form EvalCompiled scores. The
 // returned form references p: mutate p, then emu.Compiled.Patch the touched
-// slots (or Recompile) before re-evaluating.
-func (f *Fn) Compile(p *x64.Program) *emu.Compiled { return emu.Compile(p) }
+// slots (or Recompile) before re-evaluating. Under NewLive the compiled
+// form suppresses register writes the kernel's live-out set cannot observe.
+func (f *Fn) Compile(p *x64.Program) *emu.Compiled {
+	if f.liveExit {
+		return emu.CompileLive(p, f.liveGPR, f.liveXMM)
+	}
+	return emu.Compile(p)
+}
 
 // EvalCompiled computes the cost of a compiled candidate, stopping early
 // once the running total exceeds budget. It agrees with Eval on the

@@ -733,6 +733,86 @@ func (b *Batch) runLockstep(c *Compiled, outs []Outcome, lanes []*Machine, idx [
 			for _, m := range lanes {
 				m.writeXmm(dst, [2]uint64{0, 0})
 			}
+		case mkDeadNone:
+		case mkDeadR:
+			src, mask := u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(src, mask)
+			}
+		case mkDeadRD:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+			}
+		case mkDeadRR:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+				m.readReg(src, mask)
+			}
+		case mkDeadEA:
+			opd := u.in.Opd[0]
+			for _, m := range lanes {
+				m.effectiveAddr(opd)
+			}
+		case mkDeadLoad:
+			w, opd := int(u.w), u.in.Opd[0]
+			for _, m := range lanes {
+				m.load(m.effectiveAddr(opd), w)
+			}
+		case mkDeadCmov:
+			dst, src, mask, cond := u.dst, u.src, u.mask, u.cc
+			for _, m := range lanes {
+				m.readFlagsFor(cond)
+				m.readReg(src, mask)
+				m.readReg(dst, mask)
+			}
+		case mkDeadSetcc:
+			dst, cond := u.dst, u.cc
+			for _, m := range lanes {
+				m.readFlagsFor(cond)
+				m.undef += int(^m.RegDef >> dst & 1)
+			}
+		case mkDeadN:
+			dst := u.dst
+			for _, m := range lanes {
+				m.undef += int(^m.RegDef >> dst & 1)
+			}
+		case mkDeadRN:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(src, mask)
+				m.undef += int(^m.RegDef >> dst & 1)
+			}
+		case mkDeadRDN:
+			dst, mask := u.dst, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+				m.undef += int(^m.RegDef >> dst & 1)
+			}
+		case mkDeadRRN:
+			dst, src, mask := u.dst, u.src, u.mask
+			for _, m := range lanes {
+				m.readReg(dst, mask)
+				m.readReg(src, mask)
+				m.undef += int(^m.RegDef >> dst & 1)
+			}
+		case mkDeadX:
+			src := u.src
+			for _, m := range lanes {
+				m.readXmmOp(src)
+			}
+		case mkDeadXX:
+			dst, src := u.dst, u.src
+			for _, m := range lanes {
+				m.readXmmOp(src)
+				m.readXmmOp(dst)
+			}
+		case mkDeadXLoad:
+			opd := u.in.Opd[0]
+			for _, m := range lanes {
+				m.readXmmOrMem(opd)
+			}
 		default:
 			run := u.run
 			for _, m := range lanes {

@@ -187,6 +187,34 @@ const (
 	mkCmpRRZ
 	mkCmpRIZ
 
+	// Write-suppressed ("dead-register") codes, selected by the register-
+	// liveness pass (liveness.go) when every GPR/XMM a slot writes is
+	// dead-out and its flag writes (if any) are dead too. Rather than one
+	// variant per base code, the dead codes collapse to the handful of
+	// read shapes that matter for error accounting: each performs exactly
+	// the reads of its base shape — same order, same undef/sigsegv
+	// counting, including the merge read of a narrow (1/2-byte)
+	// destination — and skips the register write and the flag work
+	// entirely. The mapping is many-to-one (deadKind), so these codes are
+	// fixed points of baseKindOf/liveKind and variant re-selection always
+	// starts from the recorded base kind, never from the current code.
+	// u.run stays the full handler for the bounded loop.
+	mkDeadNone  // no reads at all (mov r,imm / zero idioms / pxor x,x)
+	mkDeadR     // reads src (mov r,r / movd r→x / wide movsx)
+	mkDeadRD    // reads dst (wide imm ALU, inc/dec/neg/not, imm shifts)
+	mkDeadRR    // reads dst then src (wide reg-reg ALU)
+	mkDeadEA    // evaluates an address (lea)
+	mkDeadLoad  // evaluates an address and loads (mov r,mem — can fault)
+	mkDeadCmov  // reads condition flags, then src, then dst
+	mkDeadSetcc // reads condition flags, merge-undef dst
+	mkDeadN     // merge-undef dst only (narrow mov imm / narrow zero)
+	mkDeadRN    // reads src, merge-undef dst (narrow mov r,r / narrow movsx)
+	mkDeadRDN   // reads dst, merge-undef dst (narrow imm ALU, inc/dec/neg)
+	mkDeadRRN   // reads dst then src, merge-undef dst (narrow reg-reg ALU)
+	mkDeadX     // reads src xmm (movaps/movups x,x / pshufd)
+	mkDeadXX    // reads src then dst xmm (shufps, packed ALU)
+	mkDeadXLoad // reads an xmm-or-memory source (movups load — can fault)
+
 	mkNumKinds // sentinel: the variant-map invariant test sweeps [0, mkNumKinds)
 )
 
@@ -227,12 +255,16 @@ type microOp struct {
 	dst    x64.Reg
 	src    x64.Reg
 	nf     bool  // liveness: every flag this slot writes is dead (liveness.go)
+	nr     bool  // liveness: every register this slot writes is dead (liveness.go)
 	target int32 // jump destination (slot index)
 	next   int32 // first live slot after this one: the fall-through pc
 	mask   uint64
 	sbit   uint64
 	imm    uint64
-	lat    float64 // static latency of this slot (Equation 13 term)
+	// Static latency of this slot (Equation 13 term). Latencies are small
+	// integers, so float32 is exact; the narrower field is what keeps
+	// microOp inside one cache line after the nr bit.
+	lat float32
 }
 
 // slotFlags is the flag-liveness state of one slot (liveness.go): the
@@ -276,6 +308,17 @@ type Compiled struct {
 	flags   []slotFlags
 	liveIn  []x64.FlagSet
 	minJSrc []int32
+
+	// regs holds each slot's register-liveness summary and analysis
+	// result (liveness.go); exitRegs is the packed GPR+XMM set observable
+	// at every exit (all-ones for Compile, the kernel's live-out masks
+	// for CompileLive). nrCount/wrCount maintain the suppressed and
+	// register-writing slot counts incrementally, so the per-proposal
+	// coverage counters are O(1) reads.
+	regs     []slotRegs
+	exitRegs uint32
+	nrCount  int
+	wrCount  int
 }
 
 // StaticLatency returns the cached Equation 13 sum of the compiled
@@ -284,14 +327,35 @@ func (c *Compiled) StaticLatency() float64 { return c.hsum }
 
 // Compile lowers p into its decode-once form. The returned Compiled
 // references p: callers that mutate p must Patch (or Recompile) before the
-// next RunCompiled.
+// next RunCompiled. Every register is treated as observable at exit, so
+// the compiled form agrees with the interpreter on the full final machine
+// state (what the differential tests compare).
 func Compile(p *x64.Program) *Compiled {
+	return CompileLive(p, allRegsLive, allRegsLive)
+}
+
+// allRegsLive marks all 16 GPRs (or XMMs) live at exit.
+const allRegsLive = 0xffff
+
+// CompileLive is Compile with the exit observation narrowed to the given
+// GPR and XMM live-out masks (bit r = register r live, whole-register
+// granularity). The register-liveness pass then also suppresses writes
+// that only an exit would have observed — exactly the dead candidate
+// writes the §4.2 cost function cannot see. Final values of non-live
+// registers may differ from a full run (their definedness too); every
+// other observable — live-out state, memory, flags at reads, the
+// undef/sigsegv/sigfpe counters, step counts — is preserved. The search
+// engine compiles candidates through this entry point with the kernel's
+// live-out set; anything that compares full final state uses Compile.
+func CompileLive(p *x64.Program, liveGPR, liveXMM uint16) *Compiled {
 	c := &Compiled{
-		prog:    p,
-		ops:     make([]microOp, len(p.Insts)),
-		flags:   make([]slotFlags, len(p.Insts)),
-		liveIn:  make([]x64.FlagSet, len(p.Insts)),
-		minJSrc: make([]int32, len(p.Insts)),
+		prog:     p,
+		ops:      make([]microOp, len(p.Insts)),
+		flags:    make([]slotFlags, len(p.Insts)),
+		liveIn:   make([]x64.FlagSet, len(p.Insts)),
+		minJSrc:  make([]int32, len(p.Insts)),
+		regs:     make([]slotRegs, len(p.Insts)),
+		exitRegs: packRegs(liveGPR, liveXMM),
 	}
 	for i := range p.Insts {
 		c.lowerSlot(i)
@@ -311,7 +375,10 @@ func (c *Compiled) Recompile() {
 		c.flags = make([]slotFlags, len(c.prog.Insts))
 		c.liveIn = make([]x64.FlagSet, len(c.prog.Insts))
 		c.minJSrc = make([]int32, len(c.prog.Insts))
+		c.regs = make([]slotRegs, len(c.prog.Insts))
 		c.hsum = 0
+		c.nrCount = 0
+		c.wrCount = 0
 	}
 	for i := range c.prog.Insts {
 		c.lowerSlot(i)
@@ -337,11 +404,12 @@ func (c *Compiled) Patch(i int) {
 type SavedSlot struct {
 	op microOp
 	fl slotFlags
+	rg slotRegs
 }
 
 // SaveSlot snapshots slot i. Capture it before Patch re-lowers the slot.
 func (c *Compiled) SaveSlot(i int) SavedSlot {
-	return SavedSlot{op: c.ops[i], fl: c.flags[i]}
+	return SavedSlot{op: c.ops[i], fl: c.flags[i], rg: c.regs[i]}
 }
 
 // RestoreSlot reinstates a snapshot of slot i after the program slot
@@ -350,9 +418,30 @@ func (c *Compiled) SaveSlot(i int) SavedSlot {
 // program instruction must equal the one the snapshot was taken over.
 func (c *Compiled) RestoreSlot(i int, s SavedSlot) {
 	wasCtl := c.ops[i].ctl
-	c.hsum += s.op.lat - c.ops[i].lat
+	c.hsum += float64(s.op.lat) - float64(c.ops[i].lat)
+	if s.op.nr != c.ops[i].nr {
+		if s.op.nr {
+			c.nrCount++
+		} else {
+			c.nrCount--
+		}
+	}
+	if s.rg.writes() != c.regs[i].writes() {
+		if s.rg.writes() {
+			c.wrCount++
+		} else {
+			c.wrCount--
+		}
+	}
 	c.ops[i] = s.op
 	c.flags[i] = s.fl
+	// Keep the current register live-in/live-out as patchLiveness's
+	// baseline (see lowerSlot): the undone patch may have re-selected
+	// upstream slots, and the restore walk only reaches them if the
+	// baseline still reflects that propagation.
+	cur := c.regs[i]
+	c.regs[i] = s.rg
+	c.regs[i].in, c.regs[i].liveOut = cur.in, cur.liveOut
 	c.repairSlot(i, wasCtl)
 }
 
@@ -447,40 +536,79 @@ func (c *Compiled) link() {
 func (c *Compiled) lowerSlot(i int) {
 	in := &c.prog.Insts[i]
 	u := &c.ops[i]
-	c.hsum -= u.lat // a stale slot's latency leaves the sum (zero when fresh)
+	c.hsum -= float64(u.lat) // a stale slot's latency leaves the sum (zero when fresh)
+	// Retire the stale slot's counter contributions before overwriting.
+	if u.nr {
+		c.nrCount--
+	}
+	if c.regs[i].writes() {
+		c.wrCount--
+	}
 	*u = microOp{in: in}
 	c.flags[i] = slotFlags{}
-	u.lat = perf.LatencyOf(in)
-	c.hsum += u.lat
+	// The register live-in/live-out results survive the re-lowering: like
+	// the flag pass's separate liveIn array, they are patchLiveness's
+	// baseline for deciding how far a change propagates, and must keep
+	// describing the state the upstream slots were last selected against.
+	prevRg := c.regs[i]
+	c.regs[i] = slotRegs{in: prevRg.in, liveOut: prevRg.liveOut}
+	u.lat = float32(perf.LatencyOf(in))
+	c.hsum += float64(u.lat)
 	switch in.Op {
 	case x64.UNUSED:
 		u.kind = mkSkip
+		c.regs[i].base = mkSkip
 		return
 	case x64.LABEL:
 		u.kind = mkSkip
 		u.ctl = true
+		c.regs[i].base = mkSkip
 		return
 	case x64.RET:
 		u.kind = mkRet
 		u.ctl = true
 		c.flags[i].gen = x64.AllFlags // an exit observes every flag
+		// An exit observes the live-out registers (all of them under
+		// plain Compile).
+		c.regs[i].base = mkRet
+		c.regs[i].gen = c.exitRegs
 		return
 	case x64.JMP:
 		u.kind = mkJmp
 		u.ctl = true
+		c.regs[i].base = mkJmp
 		return
 	case x64.Jcc:
 		u.kind = mkJcc
 		u.ctl = true
 		u.cc = in.CC
 		c.flags[i].gen = x64.FlagsReadByCond(in.CC)
+		c.regs[i].base = mkJcc
 		return
 	}
 	u.kind = mkExec
-	u.run = hGeneric
+	u.run = nil // sentinel: lowerExec sets it iff a specialised handler applies
 	f := &c.flags[i]
 	f.gen, f.kill, f.write = flagSummary(in)
 	lowerExec(u, in)
+	rg := &c.regs[i]
+	*rg = regSummary(in)
+	rg.in, rg.liveOut = prevRg.in, prevRg.liveOut
+	rg.base = u.kind
+	// Write suppression applies only to slots lowered onto a specialised
+	// handler (the dead codes and nr guards replicate exactly those
+	// bodies' reads; hGeneric runs the interpreter and cannot skip its
+	// stores) that write at least one register and no memory, and never
+	// to the stack ops (push writes memory anyway; pop's RSP/load chain
+	// isn't worth a suppressed shape).
+	if u.run == nil {
+		u.run = hGeneric
+	} else {
+		rg.eligible = rg.writes() && !rg.memWrite && in.Op != x64.POP
+	}
+	if rg.writes() {
+		c.wrCount++
+	}
 }
 
 // lowerExec picks a specialised handler for the hot opcode/operand shapes,
@@ -1392,6 +1520,50 @@ func (m *Machine) runCompiledFrom(c *Compiled, pc uint, steps int) Outcome {
 			m.packedRR(u, x64.PXOR)
 		case mkPXorZero:
 			m.writeXmm(u.dst, [2]uint64{0, 0})
+
+		// Write-suppressed variants: exactly the reads of the base shape
+		// (same undef/sigsegv accounting, merge reads of narrow
+		// destinations included), no register write, no flag work — every
+		// register and flag these slots write is provably rewritten
+		// before any read or exit.
+		case mkDeadNone:
+		case mkDeadR:
+			m.readReg(u.src, u.mask)
+		case mkDeadRD:
+			m.readReg(u.dst, u.mask)
+		case mkDeadRR:
+			m.readReg(u.dst, u.mask)
+			m.readReg(u.src, u.mask)
+		case mkDeadEA:
+			m.effectiveAddr(u.in.Opd[0])
+		case mkDeadLoad:
+			m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+		case mkDeadCmov:
+			m.readFlagsFor(u.cc)
+			m.readReg(u.src, u.mask)
+			m.readReg(u.dst, u.mask)
+		case mkDeadSetcc:
+			m.readFlagsFor(u.cc)
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		case mkDeadN:
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		case mkDeadRN:
+			m.readReg(u.src, u.mask)
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		case mkDeadRDN:
+			m.readReg(u.dst, u.mask)
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		case mkDeadRRN:
+			m.readReg(u.dst, u.mask)
+			m.readReg(u.src, u.mask)
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		case mkDeadX:
+			m.readXmmOp(u.src)
+		case mkDeadXX:
+			m.readXmmOp(u.src)
+			m.readXmmOp(u.dst)
+		case mkDeadXLoad:
+			m.readXmmOrMem(u.in.Opd[0])
 		default:
 			u.run(m, u)
 		}
@@ -1408,13 +1580,13 @@ func (m *Machine) runCompiledFrom(c *Compiled, pc uint, steps int) Outcome {
 // runCompiledBounded is the exhaustion-checking variant for programs longer
 // than the step budget, mirroring the interpreter's check placement. A run
 // that can exhaust its budget can stop at any slot — every slot is a
-// potential exit where the full flag state becomes observable — so the
-// liveness pass's suppressed forms are unsound here. This cold path
-// therefore dispatches every executable slot through a scratch copy of
-// its micro-op with the nf bit cleared: u.run is always the full-flag
-// handler (variant selection only ever swaps dispatch codes and sets nf),
-// so the copy restores exact all-live semantics for the price of a
-// 64-byte struct copy per step.
+// potential exit where the full flag and register state becomes
+// observable — so the liveness passes' suppressed forms are unsound here.
+// This cold path therefore dispatches every executable slot through a
+// scratch copy of its micro-op with the nf and nr bits cleared: u.run is
+// always the full handler (variant selection only ever swaps dispatch
+// codes and sets nf/nr), so the copy restores exact all-live semantics
+// for the price of a 64-byte struct copy per step.
 func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 	var out Outcome
 	pc, n := 0, len(c.ops)
@@ -1446,6 +1618,7 @@ func (m *Machine) runCompiledBounded(c *Compiled) Outcome {
 		}
 		tmp := *u
 		tmp.nf = false
+		tmp.nr = false
 		tmp.run(m, &tmp)
 		out.Steps++
 		pc++
@@ -1562,6 +1735,10 @@ func hMovLoadW(m *Machine, u *microOp) {
 
 func hMovLoadN(m *Machine, u *microOp) {
 	v := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w2))
+	if u.nr {
+		m.undef += int(^m.RegDef >> u.dst & 1)
+		return
+	}
 	m.writeGPR(u.dst, u.w, v)
 }
 
@@ -1581,8 +1758,18 @@ func hMovsxRR(m *Machine, u *microOp) {
 }
 
 // writeALU stores a pre-masked result into the destination register with
-// the hardware width rules.
+// the hardware width rules. It is the single write chokepoint of every
+// handler-dispatched ALU-shaped body, so the register-liveness nr bit is
+// honoured here: a suppressed narrow write still counts the merge read of
+// an undefined destination (writeGPR counts it before merging), then
+// skips the store and the definedness update.
 func (m *Machine) writeALU(u *microOp, r uint64) {
+	if u.nr {
+		if u.w < 4 {
+			m.undef += int(^m.RegDef >> u.dst & 1)
+		}
+		return
+	}
 	if u.w >= 4 {
 		m.setReg(u.dst, r)
 	} else {
@@ -1992,8 +2179,10 @@ func hMul1R(m *Machine, u *microOp) {
 		hiOut = full >> (8 * uint(u.w)) & u.mask
 		overflow = hiOut != 0
 	}
-	m.setReg(x64.RAX, loOut)
-	m.setReg(x64.RDX, hiOut)
+	if !u.nr {
+		m.setReg(x64.RAX, loOut)
+		m.setReg(x64.RDX, hiOut)
+	}
 	if !u.nf {
 		fl := szpBits(loOut, u.sbit)
 		if overflow {
@@ -2019,8 +2208,10 @@ func hImul1R(m *Machine, u *microOp) {
 		hiOut = uint64(full>>(8*uint(u.w))) & u.mask
 		overflow = full != sext(uint64(full)&u.mask, u.w)
 	}
-	m.setReg(x64.RAX, loOut)
-	m.setReg(x64.RDX, hiOut)
+	if !u.nr {
+		m.setReg(x64.RAX, loOut)
+		m.setReg(x64.RDX, hiOut)
+	}
 	if !u.nf {
 		fl := szpBits(loOut, u.sbit)
 		if overflow {
@@ -2359,6 +2550,19 @@ func hBtRI(m *Machine, u *microOp) {
 func hXchgRR(m *Machine, u *microOp) {
 	a := m.readReg(u.src, u.mask)
 	b := m.readReg(u.dst, u.mask)
+	if u.nr {
+		// Narrow exchanges merge both destinations: count the merge read
+		// of each undefined register exactly once, as the two writeGPR
+		// calls would (the first of which defines src, so a same-register
+		// exchange counts one merge, not two).
+		if u.w < 4 {
+			m.undef += int(^m.RegDef >> u.src & 1)
+			if u.dst != u.src {
+				m.undef += int(^m.RegDef >> u.dst & 1)
+			}
+		}
+		return
+	}
 	if u.w >= 4 {
 		m.setReg(u.src, b)
 		m.setReg(u.dst, a)

@@ -77,13 +77,16 @@ func lowerDiv(u *microOp, in *x64.Inst) {
 // divideFault is the deterministic #DE outcome: count a sigfpe, zero the
 // implicit outputs, define all flags as zero (matching execDivide's fault
 // closure; widths here are 4 or 8, so the direct stores match writeGPR).
-// Execution continues after a #DE, so the liveness pass's nf suppression
-// applies to the fault path like any other flag write.
-func (m *Machine) divideFault(nf bool) {
+// Execution continues after a #DE, so the liveness passes' nf/nr
+// suppression applies to the fault path like any other write — the
+// sigfpe count itself is never suppressed.
+func (m *Machine) divideFault(u *microOp) {
 	m.sigfpe++
-	m.setReg(x64.RAX, 0)
-	m.setReg(x64.RDX, 0)
-	if !nf {
+	if !u.nr {
+		m.setReg(x64.RAX, 0)
+		m.setReg(x64.RDX, 0)
+	}
+	if !u.nf {
 		m.putFlags(x64.AllFlags, 0)
 	}
 }
@@ -95,7 +98,7 @@ func (m *Machine) divCore(u *microOp, d uint64) {
 	lo := m.readReg(x64.RAX, u.mask)
 	hi := m.readReg(x64.RDX, u.mask)
 	if d == 0 || hi >= d && u.w == 8 {
-		m.divideFault(u.nf)
+		m.divideFault(u)
 		return
 	}
 	var q, r uint64
@@ -104,13 +107,15 @@ func (m *Machine) divCore(u *microOp, d uint64) {
 	} else {
 		full := hi<<(8*uint(u.w)) | lo
 		if full/d > u.mask {
-			m.divideFault(u.nf)
+			m.divideFault(u)
 			return
 		}
 		q, r = full/d, full%d
 	}
-	m.setReg(x64.RAX, q)
-	m.setReg(x64.RDX, r)
+	if !u.nr {
+		m.setReg(x64.RAX, q)
+		m.setReg(x64.RDX, r)
+	}
 	if !u.nf {
 		m.putFlags(x64.AllFlags, 0)
 	}
@@ -124,31 +129,35 @@ func (m *Machine) idivCore(u *microOp, d uint64) {
 	lo := m.readReg(x64.RAX, u.mask)
 	hi := m.readReg(x64.RDX, u.mask)
 	if d == 0 {
-		m.divideFault(u.nf)
+		m.divideFault(u)
 		return
 	}
 	if u.w == 8 {
 		if hi != uint64(int64(lo)>>63) {
-			m.divideFault(u.nf)
+			m.divideFault(u)
 			return
 		}
 		n, dv := int64(lo), int64(d)
 		if n == -1<<63 && dv == -1 {
-			m.divideFault(u.nf)
+			m.divideFault(u)
 			return
 		}
-		m.setReg(x64.RAX, uint64(n/dv))
-		m.setReg(x64.RDX, uint64(n%dv))
+		if !u.nr {
+			m.setReg(x64.RAX, uint64(n/dv))
+			m.setReg(x64.RDX, uint64(n%dv))
+		}
 	} else {
 		full := int64(hi<<(8*uint(u.w)) | lo)
 		dv := sext(d, u.w)
 		q := full / dv
 		if q != sext(uint64(q)&u.mask, u.w) {
-			m.divideFault(u.nf)
+			m.divideFault(u)
 			return
 		}
-		m.setReg(x64.RAX, uint64(q)&u.mask)
-		m.setReg(x64.RDX, uint64(full%dv)&u.mask)
+		if !u.nr {
+			m.setReg(x64.RAX, uint64(q)&u.mask)
+			m.setReg(x64.RDX, uint64(full%dv)&u.mask)
+		}
 	}
 	if !u.nf {
 		m.putFlags(x64.AllFlags, 0)
@@ -198,11 +207,17 @@ func hMovGXFromR(m *Machine, u *microOp) {
 
 func hMovGXFromM(m *Machine, u *microOp) {
 	v := m.load(m.effectiveAddr(u.in.Opd[0]), int(u.w))
+	if u.nr {
+		return
+	}
 	m.writeXmm(u.dst, [2]uint64{v, 0})
 }
 
 func hMovGXToR(m *Machine, u *microOp) {
 	v := m.readXmmOp(u.src)
+	if u.nr {
+		return
+	}
 	// movd/movq to a GPR zero-extends to 64 bits.
 	m.setReg(u.dst, v[0]&u.mask)
 }
@@ -399,6 +414,9 @@ func hPackedRR(m *Machine, u *microOp) { m.packedRR(u, u.in.Op) }
 func hPackedMR(m *Machine, u *microOp) {
 	a := m.readXmmOrMem(u.in.Opd[0])
 	b := m.readXmmOp(u.dst)
+	if u.nr {
+		return
+	}
 	m.writeXmm(u.dst, packedOp(u.in.Op, a, b))
 }
 
@@ -428,6 +446,9 @@ func lowerPackedShift(u *microOp, in *x64.Inst) {
 
 func hPslldI(m *Machine, u *microOp) {
 	a := lanes32(m.readXmmOp(u.dst))
+	if u.nr {
+		return
+	}
 	var out [4]uint32
 	if u.imm < 32 {
 		for i := range out {
@@ -439,6 +460,9 @@ func hPslldI(m *Machine, u *microOp) {
 
 func hPsrldI(m *Machine, u *microOp) {
 	a := lanes32(m.readXmmOp(u.dst))
+	if u.nr {
+		return
+	}
 	var out [4]uint32
 	if u.imm < 32 {
 		for i := range out {
@@ -450,6 +474,9 @@ func hPsrldI(m *Machine, u *microOp) {
 
 func hPsllqI(m *Machine, u *microOp) {
 	a := m.readXmmOp(u.dst)
+	if u.nr {
+		return
+	}
 	var out [2]uint64
 	if u.imm < 64 {
 		out = [2]uint64{a[0] << u.imm, a[1] << u.imm}
@@ -459,6 +486,9 @@ func hPsllqI(m *Machine, u *microOp) {
 
 func hPsrlqI(m *Machine, u *microOp) {
 	a := m.readXmmOp(u.dst)
+	if u.nr {
+		return
+	}
 	var out [2]uint64
 	if u.imm < 64 {
 		out = [2]uint64{a[0] >> u.imm, a[1] >> u.imm}

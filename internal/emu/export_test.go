@@ -37,6 +37,21 @@ func (c *Compiled) SlotKinds() []uint8 {
 	return out
 }
 
+// RegCountsByScan recomputes the register-liveness coverage counters by
+// direct scan — the pin for the incrementally maintained
+// RegFreeSlots/RegWritingSlots under patch and restore storms.
+func (c *Compiled) RegCountsByScan() (free, writing int) {
+	for i := range c.ops {
+		if c.ops[i].nr {
+			free++
+		}
+		if c.regs[i].writes() {
+			writing++
+		}
+	}
+	return free, writing
+}
+
 // LiveOuts exposes the per-slot live-out flag sets computed by the
 // liveness pass, for the directed liveness tests.
 func (c *Compiled) LiveOuts() []x64.FlagSet {

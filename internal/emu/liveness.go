@@ -38,10 +38,48 @@ import "repro/internal/x64"
 //     the same order, so the undef/sigsegv counters — observables of the
 //     cost function — cannot diverge.
 //
+// Register liveness. The same machinery runs a second backward pass over
+// 16-bit GPR and XMM sets: per slot, regSummary derives the registers the
+// handler reads (gen) and writes from the instruction's operand and
+// implicit effects (x64.EffectsOf), live-in is gen | liveOut &^ write,
+// and a slot every one of whose written registers is dead-out lowers to a
+// write-suppressed form — a shared mkDead* dispatch code when its flag
+// writes (if any) are dead too, or the nr bit honoured inside the
+// specialised handler. The dataflow rules:
+//
+//   - Exits gen the Compiled's exitRegs masks: all registers under
+//     plain Compile (full final state stays comparable against the
+//     interpreter), the kernel's live-out set under CompileLive (the
+//     §4.2 cost function observes nothing else; the engine compiles
+//     candidates this way).
+//   - Every modelled register write is unconditional (CMOV always writes,
+//     zero-count shifts rewrite their destination, DIV defines RAX/RDX on
+//     both the fault and success paths), so kill == write.
+//   - Partial-width merge semantics: a 4/8-byte write is a full kill
+//     (32-bit writes zero-extend); a 1/2-byte write merges into the
+//     untouched bytes, which EffectsOf models by putting the narrow
+//     destination in the read set — the register stays live-in through
+//     narrow writes, so a dead narrow write can only ever be killed by a
+//     later wide write, and suppressing its RegDef update is invisible.
+//     XMM writes are always full 128-bit kills.
+//   - The dependency-breaking zero idioms (xor r,r / sub r,r / pxor x,x)
+//     read nothing at wide widths; regSummary drops their false
+//     self-read so the upstream write can die.
+//   - Memory operands read their base/index registers; MUL/IMUL/DIV/IDIV
+//     use their implicit RAX/RDX sets precisely (reads keep upstream
+//     writes alive even when the implicit outputs are dead).
+//
+// Suppressed forms keep every read — in handler order, including the
+// merge read of an undefined narrow destination that writeGPR counts
+// before merging — so the undef/sigsegv counters cannot diverge; only
+// the Regs/Xmm stores and the RegDef/XmmDef updates are skipped. Under
+// CompileLive the final values and definedness of non-live registers may
+// therefore differ from a full run; every cost observable is preserved.
+//
 // The bounded run loop (runCompiledBounded) is excluded by construction:
 // it can exhaust the step budget at any slot, which makes every slot a
 // potential exit, so it dispatches each slot through a scratch copy with
-// the nf bit cleared — u.run always remains the full-flag handler —
+// the nf and nr bits cleared — u.run always remains the full handler —
 // never through the selected variant codes.
 //
 // Patching. An MCMC move rewrites one slot, which can flip liveness for an
@@ -88,6 +126,61 @@ func flagSummary(in *x64.Inst) (gen, kill, write x64.FlagSet) {
 	return gen, kill, write
 }
 
+// slotRegs is the register-liveness state of one slot: the packed
+// GPR+XMM sets the handler reads (gen) and writes (write), the analysis
+// results (in/liveOut), the recorded base dispatch code variant
+// re-selection starts from (the dead codes are many-to-one, so the
+// current u.kind cannot be inverted), and the suppression eligibility
+// decided at lowering time. Kept beside slotFlags, outside microOp, for
+// the same cache-line reason.
+type slotRegs struct {
+	gen      uint32
+	write    uint32
+	in       uint32
+	liveOut  uint32
+	base     microKind
+	eligible bool
+	memWrite bool
+}
+
+// packRegs packs a GPR set (high half) and an XMM set (low half) into
+// the single word the analysis operates on: both register files flow
+// through one OR/AND-NOT pair per slot, and the dead test is one mask.
+func packRegs(gpr, xmm uint16) uint32 { return uint32(gpr)<<16 | uint32(xmm) }
+
+// writes reports whether the slot writes any register at all, the
+// denominator of the suppressed-register fraction.
+func (rg *slotRegs) writes() bool { return rg.write != 0 }
+
+// regSummary derives the register-liveness summary of one executable
+// instruction from its operand and implicit effects. The emulator's
+// specialised handlers implement exactly these reads and writes (the
+// differential fuzz targets pin that); the zero idioms are the one spot
+// the effects table is conservative, so their false self-read is dropped
+// at the widths whose handlers read nothing.
+func regSummary(in *x64.Inst) slotRegs {
+	e := x64.EffectsOf(*in)
+	rg := slotRegs{
+		gen:      packRegs(uint16(e.GPRRead), e.XMMRead),
+		write:    packRegs(uint16(e.GPRWrite), e.XMMWrite),
+		memWrite: e.MemWrite,
+	}
+	switch in.Op {
+	case x64.XOR, x64.SUB:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindReg && s.Kind == x64.KindReg &&
+			s.Reg == d.Reg && s.Width == d.Width && d.Width >= 4 {
+			rg.gen &^= packRegs(1<<d.Reg, 0)
+		}
+	case x64.PXOR:
+		d, s := in.Opd[1], in.Opd[0]
+		if d.Kind == x64.KindXmm && s.Kind == x64.KindXmm && s.Reg == d.Reg {
+			rg.gen &^= packRegs(0, 1<<d.Reg)
+		}
+	}
+	return rg
+}
+
 // liveInAt reads the stored live-in of slot j, with every index at or past
 // the program end standing for an exit (all flags observable).
 func (c *Compiled) liveInAt(j int) x64.FlagSet {
@@ -97,30 +190,54 @@ func (c *Compiled) liveInAt(j int) x64.FlagSet {
 	return c.liveIn[j]
 }
 
-// recomputeSlot refreshes slot j's live-out and live-in from its
-// successors' stored live-ins, reporting what changed. Successors follow
-// slot order (j+1), not the skip chain, so UNUSED/LABEL slots propagate
-// liveness transparently; RET has no successor and its AllFlags gen models
-// the exit.
+// regLiveInAt reads the stored packed register live-in set of slot j,
+// with every index at or past the program end standing for an exit (the
+// exitRegs masks observable).
+func (c *Compiled) regLiveInAt(j int) uint32 {
+	if j >= len(c.ops) {
+		return c.exitRegs
+	}
+	return c.regs[j].in
+}
+
+// recomputeSlot refreshes slot j's live-out and live-in — flag and
+// register sets in one walk — from its successors' stored live-ins.
+// Successors follow slot order (j+1), not the skip chain, so
+// UNUSED/LABEL slots propagate liveness transparently; RET has no
+// successor and its AllFlags/exitRegs gens model the exit.
+// outChanged reports only selection-relevant change: live-out bits
+// masked by the slot's own write sets, the sole live-out inputs of
+// applyLiveness — a changed bit the slot does not write cannot flip its
+// dispatch selection, so patchLiveness skips re-selection for it (the
+// common case on a long walk: a liveness flip streaming through slots
+// that merely propagate it).
 func (c *Compiled) recomputeSlot(j int) (inChanged, outChanged bool) {
 	u := &c.ops[j]
 	f := &c.flags[j]
+	rg := &c.regs[j]
 	var lo x64.FlagSet
+	var loR uint32
 	switch u.kind {
 	case mkRet:
 		lo = 0
 	case mkJmp:
 		lo = c.liveInAt(int(u.target))
+		loR = c.regLiveInAt(int(u.target))
 	case mkJcc:
 		lo = c.liveInAt(int(u.target)) | c.liveInAt(j+1)
+		loR = c.regLiveInAt(int(u.target)) | c.regLiveInAt(j+1)
 	default:
 		lo = c.liveInAt(j + 1)
+		loR = c.regLiveInAt(j + 1)
 	}
 	li := f.gen | lo&^f.kill
-	outChanged = lo != f.liveOut
+	liR := rg.gen | loR&^rg.write
+	outChanged = (lo^f.liveOut)&f.write != 0 || (loR^rg.liveOut)&rg.write != 0
 	f.liveOut = lo
-	inChanged = li != c.liveIn[j]
+	rg.liveOut = loR
+	inChanged = li != c.liveIn[j] || liR != rg.in
 	c.liveIn[j] = li
+	rg.in = liR
 	return inChanged, outChanged
 }
 
@@ -158,27 +275,54 @@ func (c *Compiled) patchLiveness(i int) {
 	}
 }
 
-// applyLiveness selects slot i's dispatch code from its live-out set:
-// the flag-suppressed variant when no written flag is live, the szp-only
-// variant when only SF/ZF/PF are, the full code otherwise. Only kind and
-// nf are ever touched — u.run stays the full-flag handler, which is what
-// lets the bounded loop recover all-live semantics from a copy with nf
-// cleared.
+// applyLiveness selects slot i's dispatch code and suppression bits from
+// its live-out sets. Registers first: a slot is register-dead when it is
+// eligible and none of the GPRs/XMMs it writes is live-out; it is
+// suppressed (nr set, dead dispatch code) only when its flag writes — if
+// it has any — are dead too, so a single code can drop the register
+// write and the flag work together (partially-live slots stay on their
+// flag-selected variant and write the register: never suppressing is
+// always sound, and the choice is a pure function of the slot's summary
+// and live-out sets, which keeps patched, fresh, scalar and batched
+// selection identical). Flags as before: the flag-suppressed variant
+// when no written flag is live, the szp-only variant when only SF/ZF/PF
+// are, the full code otherwise. Only kind, nf and nr are ever touched —
+// u.run stays the full handler, which is what lets the bounded loop
+// recover all-live semantics from a copy with both bits cleared.
 func (c *Compiled) applyLiveness(i int) {
-	f := &c.flags[i]
-	if f.write == 0 {
-		return
-	}
 	u := &c.ops[i]
-	live := f.liveOut & f.write
-	u.kind = liveKind(baseKindOf(u.kind), live)
-	// The nf bit suppresses the flag store of handler-dispatched slots —
-	// the shapes without an inline variant code (narrow widths, memory
-	// sources, CL shifts, the mul/div families): every specialised
-	// flag-writing handler guards its putFlags on it, and the generic
-	// fallback honours it by restoring the flag words around the
-	// interpreter switch (hGeneric).
-	u.nf = live == 0
+	f := &c.flags[i]
+	rg := &c.regs[i]
+	liveF := f.liveOut & f.write
+	deadF := f.write == 0 || liveF == 0
+	nr := rg.eligible && deadF && rg.write&rg.liveOut == 0
+	if nr != u.nr {
+		if nr {
+			c.nrCount++
+		} else {
+			c.nrCount--
+		}
+		u.nr = nr
+	}
+	if f.write != 0 {
+		// The nf bit suppresses the flag store of handler-dispatched
+		// slots — the shapes without an inline variant code (narrow
+		// widths, memory sources, CL shifts, the mul/div families): every
+		// specialised flag-writing handler guards its putFlags on it, and
+		// the generic fallback honours it by restoring the flag words
+		// around the interpreter switch (hGeneric).
+		u.nf = liveF == 0
+	}
+	switch {
+	case nr:
+		u.kind = deadKind(rg.base, u.w >= 4)
+	case f.write != 0:
+		u.kind = liveKind(rg.base, liveF)
+	default:
+		// A previously-suppressed non-flag-writing slot (mov, lea, SSE)
+		// whose destination came back live returns to its base code.
+		u.kind = rg.base
+	}
 }
 
 // baseKindOf maps a liveness-selected variant code back to its full-flag
@@ -301,6 +445,73 @@ func liveKind(base microKind, live x64.FlagSet) microKind {
 	}
 	return base
 }
+
+// deadKind maps a full base dispatch code to its write-suppressed code —
+// the shared mkDead* shape performing exactly the base body's reads (the
+// mapping is many-to-one; these codes are fixed points of baseKindOf and
+// liveKind, and re-selection always starts from the recorded base).
+// Handler-dispatched shapes map to themselves: their handlers honour the
+// nr bit directly (writeALU is the chokepoint for the ALU-shaped bodies;
+// the mul/div/xchg/load/SSE-store-free handlers guard explicitly). wide
+// distinguishes the movsx destinations, the one base code spanning both
+// a full-kill and a merge write.
+func deadKind(base microKind, wide bool) microKind {
+	switch base {
+	case mkMovRIW, mkZeroW, mkPXorZero:
+		return mkDeadNone
+	case mkMovRRW, mkMovdRX:
+		return mkDeadR
+	case mkMovsxRR:
+		if wide {
+			return mkDeadR
+		}
+		return mkDeadRN
+	case mkAddRIW, mkSubRIW, mkAndRIW, mkOrRIW, mkXorRIW,
+		mkIncW, mkDecW, mkNegW, mkNotW,
+		mkShlIW, mkShrIW, mkSarIW:
+		return mkDeadRD
+	case mkAddRRW, mkSubRRW, mkAndRRW, mkOrRRW, mkXorRRW:
+		return mkDeadRR
+	case mkLeaW:
+		return mkDeadEA
+	case mkMovLoadW:
+		return mkDeadLoad
+	case mkCmovRRW:
+		return mkDeadCmov
+	case mkSetcc:
+		return mkDeadSetcc
+	case mkMovRIN, mkZeroN:
+		return mkDeadN
+	case mkMovRRN:
+		return mkDeadRN
+	case mkAddRIN, mkSubRIN, mkAndRIN, mkOrRIN, mkXorRIN,
+		mkIncN, mkDecN, mkNegN:
+		return mkDeadRDN
+	case mkAddRRN, mkSubRRN, mkAndRRN, mkOrRRN, mkXorRRN:
+		return mkDeadRRN
+	case mkMovXX, mkPshufd:
+		return mkDeadX
+	case mkShufps, mkPAddW, mkPSubW, mkPMullW,
+		mkPAddD, mkPSubD, mkPMullD, mkPAddQ,
+		mkPAnd, mkPOr, mkPXor:
+		return mkDeadXX
+	case mkMovupsLoad:
+		return mkDeadXLoad
+	}
+	return base
+}
+
+// RegFreeSlots reports how many register-writing slots the register-
+// liveness pass proved dead and suppressed — via a shared mkDead*
+// dispatch code on the inline shapes, via the nr bit inside the
+// specialised handler otherwise. Maintained incrementally (O(1) read):
+// the per-proposal coverage counters in mcmc read it on every patch.
+func (c *Compiled) RegFreeSlots() int { return c.nrCount }
+
+// RegWritingSlots reports how many slots write any GPR or XMM register at
+// all, the denominator of the suppressed-register fraction tracked by
+// BENCH_eval.json. Maintained incrementally (O(1) read).
+func (c *Compiled) RegWritingSlots() int { return c.wrCount }
 
 // FlagFreeSlots reports how many flag-writing slots the liveness pass
 // proved dead and suppressed — via a flag-suppressed dispatch code on the

@@ -20,13 +20,19 @@
 //     Machine.RunCompiled dispatches over that form. The MCMC search
 //     evaluates millions of candidates that differ in at most two slots
 //     from their predecessor, so Compiled supports O(1) slot patching
-//     instead of recompilation (see compile.go). A backward flag-liveness
-//     pass additionally suppresses the flag computation of slots whose
-//     writes no condition consumer or exit can observe, re-selecting
-//     variants incrementally as patches shift liveness (see liveness.go).
+//     instead of recompilation (see compile.go). A backward liveness pass
+//     additionally suppresses the flag computation of slots whose writes
+//     no condition consumer or exit can observe, and — in the same walk,
+//     over packed 16-bit GPR/XMM sets — the register stores of slots none
+//     of whose written registers is live-out, re-selecting variants
+//     incrementally as patches shift liveness (see liveness.go).
 //
 // Both forms agree on every observable (Outcome counters, registers, flags,
-// memory, definedness); randomized differential tests enforce this.
+// memory, definedness); randomized differential tests enforce this. Under
+// CompileLive the exit observation narrows to a kernel's live-out masks:
+// final values and definedness of non-live registers may then differ from
+// a full run, while every cost observable — live-out state, memory, flags
+// at reads, the error counters — is preserved.
 package emu
 
 import (

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cost"
@@ -54,6 +56,16 @@ type EvalBaseline struct {
 	// flags at all (the SSE rewrite rows) record 1.0: nothing to
 	// suppress, full coverage.
 	FlagFree map[string]float64 `json:"flag_free"`
+
+	// RegFree maps "kernel/ell=N" to the fraction of register-writing
+	// slots the register-liveness pass suppressed across the compiled
+	// chain's proposals (mcmc.Stats.RegFreeSlots over RegWritingSlots,
+	// sampled per proposal after patching). The fraction is dynamic —
+	// measured over the candidates the chain actually visits under the
+	// kernel's live-out exit gens — because the -O0 start programs
+	// themselves carry almost no dead register writes. A chain that never
+	// saw a register-writing slot records 1.0: nothing to suppress.
+	RegFree map[string]float64 `json:"reg_free"`
 }
 
 // evalConfigs are the measured profiles: the headline p01 ℓ=14/ℓ=50 pair
@@ -89,6 +101,7 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 		Speedups:        map[string]float64{},
 		BatchedSpeedups: map[string]float64{},
 		FlagFree:        map[string]float64{},
+		RegFree:         map[string]float64{},
 	}
 	for _, cfg := range evalConfigs {
 		bench, err := kernels.ByName(cfg.kernel)
@@ -108,21 +121,30 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 			return base, err
 		}
 		var rates [3]float64
+		regFree := 1.0
 		for mi, mode := range []string{"interpreted", "compiled", "batched"} {
 			params := mcmc.PaperParams
 			params.Ell = cfg.ell
 			params.Beta = 1.0
 			s := &mcmc.Sampler{
-				Params:      params,
-				Pools:       mcmc.PoolsFor(bench.Target, bench.SSE),
-				Cost:        cost.New(tests, bench.Spec.LiveOut, cost.Improved, 1),
+				Params: params,
+				Pools:  mcmc.PoolsFor(bench.Target, bench.SSE),
+				// The engine's configuration: candidates compile under the
+				// kernel's live-out exit gens, so the register-liveness
+				// pass suppresses writes of non-live registers.
+				Cost:        cost.NewLive(tests, bench.Spec.LiveOut, cost.Improved, 1),
 				Rng:         rand.New(rand.NewSource(9)),
 				Interpreted: mi == 0,
 				Batched:     mi == 2,
 			}
 			start := time.Now()
-			s.Run(context.Background(), startProg, proposals)
+			res := s.Run(context.Background(), startProg, proposals)
 			dur := time.Since(start)
+			if mi == 1 {
+				if w := res.Stats.RegWritingSlots; w > 0 {
+					regFree = float64(res.Stats.RegFreeSlots) / float64(w)
+				}
+			}
 			rate := float64(proposals) / dur.Seconds()
 			rates[mi] = rate
 			base.Runs = append(base.Runs, EvalRate{
@@ -145,8 +167,67 @@ func MeasureEvalThroughput(proposals int64) (EvalBaseline, error) {
 		if w := comp.FlagWritingSlots(); w > 0 {
 			base.FlagFree[key] = float64(comp.FlagFreeSlots()) / float64(w)
 		}
+		base.RegFree[key] = regFree
 	}
 	return base, nil
+}
+
+// EvalCheckTolerance is the fractional regression -check tolerates on each
+// tracked ratio before failing: generous enough for noisy CI boxes, tight
+// enough to catch a pipeline that lost its compiled or batched edge.
+const EvalCheckTolerance = 0.35
+
+// CheckEvalBaseline measures a fresh evaluation baseline and compares its
+// box-independent ratios — compiled/interpreted and batched/compiled
+// speedups, plus the flag-free and reg-free coverage fractions — against
+// the committed BENCH_eval.json at path, failing on any tracked row that
+// regressed by more than EvalCheckTolerance. Absolute proposals/sec are
+// deliberately not compared: they measure the box, not the code.
+func CheckEvalBaseline(path string, proposals int64) (EvalBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return EvalBaseline{}, err
+	}
+	var committed EvalBaseline
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return EvalBaseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	fresh, err := MeasureEvalThroughput(proposals)
+	if err != nil {
+		return fresh, err
+	}
+	if failures := compareEvalBaselines(committed, fresh); len(failures) > 0 {
+		return fresh, fmt.Errorf("eval baseline regressed against %s:\n  %s",
+			path, strings.Join(failures, "\n  "))
+	}
+	return fresh, nil
+}
+
+// compareEvalBaselines reports every tracked ratio of the committed
+// baseline that the fresh measurement misses or regresses beyond
+// EvalCheckTolerance. Rows only the fresh measurement has are ignored:
+// new kernels must not fail the guard before their baseline lands.
+func compareEvalBaselines(committed, fresh EvalBaseline) []string {
+	var failures []string
+	check := func(metric string, want, got map[string]float64) {
+		for key, w := range want {
+			g, ok := got[key]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s %s: missing from fresh measurement", metric, key))
+				continue
+			}
+			if g < w*(1-EvalCheckTolerance) {
+				failures = append(failures, fmt.Sprintf("%s %s: %.2f fresh vs %.2f committed (>%.0f%% regression)",
+					metric, key, g, w, 100*EvalCheckTolerance))
+			}
+		}
+	}
+	check("speedup", committed.Speedups, fresh.Speedups)
+	check("batched_speedup", committed.BatchedSpeedups, fresh.BatchedSpeedups)
+	check("flag_free", committed.FlagFree, fresh.FlagFree)
+	check("reg_free", committed.RegFree, fresh.RegFree)
+	sort.Strings(failures)
+	return failures
 }
 
 // WriteEvalBaseline measures evaluation throughput and writes the baseline

@@ -159,6 +159,15 @@ type Stats struct {
 	Proposals      int64
 	Accepts        int64
 	TestsEvaluated int64
+
+	// RegFreeSlots / RegWritingSlots accumulate, per compiled proposal
+	// (after patching, before evaluation — rejected proposals count), the
+	// register-liveness pass's suppressed and register-writing slot totals
+	// (emu.Compiled.RegFreeSlots/RegWritingSlots). Their ratio is the
+	// dynamic fraction of dead register writes the pass removed from the
+	// chain's actual workload. Zero on the interpreted path.
+	RegFreeSlots    int64
+	RegWritingSlots int64
 }
 
 // Sampler runs one MCMC chain. It is not safe for concurrent use; parallel
@@ -571,6 +580,8 @@ func (r *Run) stepCompiled(ctx context.Context, end int64) {
 			saved[k] = comp.SaveSlot(rec.idx[k])
 			comp.Patch(rec.idx[k])
 		}
+		s.Stats.RegFreeSlots += int64(comp.RegFreeSlots())
+		s.Stats.RegWritingSlots += int64(comp.RegWritingSlots())
 
 		bound := cs.bound()
 		res := s.evalCompiled(comp, bound)

@@ -84,7 +84,8 @@ const (
 	FzLabel
 	FzJmp
 	FzRet
-	FzIncDec // inc/dec/neg/not: the partial- and no-flag-write unary family
+	FzIncDec      // inc/dec/neg/not: the partial- and no-flag-write unary family
+	FzRegLiveness // width-varied writes over a small register set: deadness edges
 	fzMenuLen
 )
 
@@ -284,6 +285,40 @@ func decodeFuzzInst(menu byte, a [4]byte) x64.Inst {
 		// pipeline's flag-liveness pass.
 		ops := [4]x64.Opcode{x64.INC, x64.DEC, x64.NEG, x64.NOT}
 		return x64.MakeInst(ops[a[0]%4], x64.R(fzR(a[2]), fzWAll(a[1])))
+	case FzRegLiveness:
+		// Register-deadness edges for the liveness pass: width-varied
+		// writes over a deliberately small destination set, so random
+		// programs overwrite each other's results and real kills occur —
+		// narrow writes that merge into untouched bytes, 32-bit writes
+		// whose zero-extension kills the full register, the dependency-
+		// breaking zero idioms, the divide family's implicit RAX:RDX
+		// defs, and cross-file GPR↔XMM moves.
+		dst := []x64.Reg{x64.RAX, x64.RCX, x64.RDX, x64.RBX}[a[1]%4]
+		switch a[0] % 8 {
+		case 0: // 1-byte write: merges, killable only by a later wide write
+			return x64.MakeInst(x64.MOV, x64.Imm(int64(a[3]), 1), x64.R(dst, 1))
+		case 1: // 2-byte write: the same merge semantics one width up
+			return x64.MakeInst(x64.MOV, x64.Imm(int64(fuzzVal(a[3], 0)), 2), x64.R(dst, 2))
+		case 2: // 32-bit move: zero-extension makes it a full kill
+			return x64.MakeInst(x64.MOV, x64.R(fzR(a[3]), 4), x64.R(dst, 4))
+		case 3: // full-width kill
+			return x64.MakeInst(x64.MOV, x64.R(fzR(a[3]), 8), x64.R(dst, 8))
+		case 4: // zero idiom: kills its destination without reading it
+			return x64.MakeInst(x64.XOR, x64.R(dst, fzW(a[3])), x64.R(dst, fzW(a[3])))
+		case 5: // the divide family's implicit RAX:RDX uses and defs
+			op := x64.DIV
+			if a[3]&1 != 0 {
+				op = x64.IDIV
+			}
+			return x64.MakeInst(op, x64.R(fzR(a[2]), fzW(a[3]>>1)))
+		case 6: // xmm zero idiom: a full 128-bit kill
+			return x64.MakeInst(x64.PXOR, x64.X(fzX(a[3])), x64.X(fzX(a[3])))
+		default: // cross-file copies: deadness crossing the GPR/XMM boundary
+			if a[3]&1 != 0 {
+				return x64.MakeInst(x64.MOVD, x64.X(fzX(a[2])), x64.R(dst, 4))
+			}
+			return x64.MakeInst(x64.MOVD, x64.R(dst, 4), x64.X(fzX(a[2])))
+		}
 	}
 	return x64.Unused()
 }

@@ -254,6 +254,85 @@ func SeedCorpus() []Seed {
 		),
 	)
 
+	// Register-liveness seeds: the deadness edges of the register pass,
+	// each paired with a patch script that resurrects the dead write and
+	// kills it again, so the patched/fresh/batched selection comparison
+	// crosses both transitions.
+	rbpZero := defaultFzSnap()
+	rbpZero.gprIdx[5] = fvZero // RBP: the zero divisor an edit switches to
+	seeds = append(seeds,
+		// 8/16-bit partial writes merge into untouched bytes, which makes
+		// each narrow write a reader of its destination: the movb stays
+		// live through the movw's merge read, and only the last narrow
+		// write before the wide kill dies; edits swap the kill for another
+		// narrow write (resurrect) and a 32-bit zero-extending one (kill).
+		seed("regs-partial-write-merge-chain", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzRegLiveness, 0, 0, 0, 0x11), // movb $0x11, %al (live: merged below)
+				fzSlot(FzRegLiveness, 1, 0, 0, 2),    // movw $2, %ax (dead)
+				fzSlot(FzRegLiveness, 0, 1, 0, 0x22), // movb $0x22, %cl (live: read below)
+				fzSlot(FzRegLiveness, 3, 0, 0, 1),    // movq %rcx, %rax: wide kill
+			},
+			fzEdit(3, fzSlot(FzRegLiveness, 0, 0, 0, 0x33)), // narrow again: resurrect
+			fzEdit(3, fzSlot(FzRegLiveness, 2, 0, 0, 1)),    // movl %ecx, %eax: kill anew
+		),
+		// 32-bit writes zero-extend, so both the plain movl and the xorl
+		// zero idiom are full kills of their 64-bit register; the swap
+		// reverses which of the two movs is the dead one.
+		seed("regs-zero-extend-kill", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzRegLiveness, 3, 0, 0, 6), // movq %rsi, %rax (dead)
+				fzSlot(FzRegLiveness, 2, 0, 0, 1), // movl %ecx, %eax: zero-extend kill
+				fzSlot(FzRegLiveness, 3, 2, 0, 6), // movq %rsi, %rdx (dead)
+				fzSlot(FzRegLiveness, 4, 2, 0, 1), // xorl %edx, %edx: zero-idiom kill
+			},
+			fzSwap(0, 1),
+			fzSwap(0, 1),
+		),
+		// A dead write resurrected by a Jcc whose label sits backward: the
+		// forward-scan link resolves the taken edge to the program end, an
+		// exit where every register is live — the relink edit flips the
+		// mov from dead to live and the second edit flips it back.
+		seed("regs-dead-write-jcc-resurrect", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzLabel, 1),
+				fzSlot(FzRegLiveness, 3, 0, 0, 1), // movq %rcx, %rax (dead)
+				fzSlot(FzUnused),
+				fzSlot(FzRegLiveness, 2, 0, 0, 1), // movl %ecx, %eax: kill
+			},
+			fzEdit(2, fzSlot(FzJcc, 0, 1)), // jcc .L1 (backward → exit edge): resurrect
+			fzEdit(2, fzSlot(FzUnused)),    // and back to dead
+		),
+		// DIV's implicit RAX:RDX defs die when both are overwritten before
+		// any read — the div still reads RAX/RDX/divisor when suppressed.
+		// Edits resurrect the RAX def via a reader, kill it again, and
+		// switch to a zero divisor so the #DE accounting runs suppressed.
+		seed("regs-div-implicit-defs", rbpZero,
+			[][]byte{
+				fzSlot(FzDiv, 0, rsiReg),          // divq %rsi
+				fzSlot(FzRegLiveness, 4, 0, 0, 1), // xorl %eax, %eax
+				fzSlot(FzRegLiveness, 4, 2, 0, 1), // xorl %edx, %edx
+			},
+			fzEdit(1, fzSlot(FzALU, 0, 3, 1, 0)),         // addq %rax, %rcx: resurrect
+			fzEdit(1, fzSlot(FzRegLiveness, 4, 0, 0, 1)), // xorl back: dead again
+			fzEdit(0, fzSlot(FzRegLiveness, 5, 0, 5, 0)), // divq %rbp: #DE while dead
+		),
+		// Dead XMM writes: packed arithmetic killed by the pxor zero
+		// idiom, a shuffle killed by a vector load, and a cross-file movd;
+		// the edit makes the consumer read the dead destination.
+		seed("regs-dead-xmm-lanes", defaultFzSnap(),
+			[][]byte{
+				fzSlot(FzPacked, 0, 0, 1),         // paddw xmm0, xmm1 (dead)
+				fzSlot(FzRegLiveness, 6, 0, 0, 1), // pxor xmm1, xmm1: kill
+				fzSlot(FzShuffle, 1, 0x1b, 0, 2),  // pshufd 0x1b, xmm0, xmm2 (dead)
+				fzSlot(FzMovups, 1, 0, 4, 0),      // movups (rdi), xmm2: load kill
+				fzSlot(FzRegLiveness, 7, 0, 3, 1), // movd %xmm3, %eax
+			},
+			fzEdit(1, fzSlot(FzPacked, 3, 1, 2)),         // paddd xmm1, xmm2: resurrect
+			fzEdit(1, fzSlot(FzRegLiveness, 6, 0, 0, 1)), // pxor back: dead again
+		),
+	)
+
 	// Batched-evaluator divergence seeds. The batched fuzz target perturbs
 	// registers, flags, and definedness per lane, so these shapes make the
 	// lockstep loop split at a conditional jump, fault on a strict subset

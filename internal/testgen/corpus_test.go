@@ -168,6 +168,73 @@ func TestSeedCorpusCoversLivenessEdges(t *testing.T) {
 	}
 }
 
+// TestSeedCorpusCoversRegLiveness: the register-liveness seeds must decode
+// to the deadness edges they are named for — narrow-write merge chains,
+// zero-extending 32-bit kills, the backward-label jcc whose taken edge is
+// an exit, the divide family's implicit defs, and dead XMM destinations.
+func TestSeedCorpusCoversRegLiveness(t *testing.T) {
+	fc := seedByName(t, "regs-partial-write-merge-chain")
+	for i, w := range []uint8{1, 2, 1} {
+		in := fc.Prog.Insts[i]
+		if in.Op != x64.MOV || in.Opd[1].Width != w {
+			t.Fatalf("merge-chain slot %d = %v, want a %d-byte mov", i, in, w)
+		}
+	}
+	if kill := fc.Prog.Insts[3]; kill.Op != x64.MOV || kill.Opd[1].Width != 8 ||
+		kill.Opd[1].Reg != x64.RAX {
+		t.Fatalf("merge-chain slot 3 = %v, want the wide kill of %%rax", kill)
+	}
+	if e := fc.Edits[1].With; e.Opd[1].Width != 4 || e.Opd[1].Reg != x64.RAX {
+		t.Fatalf("merge-chain edit 1 = %v, want the 32-bit re-kill", e)
+	}
+
+	fc = seedByName(t, "regs-zero-extend-kill")
+	if in := fc.Prog.Insts[1]; in.Op != x64.MOV || in.Opd[1].Width != 4 {
+		t.Fatalf("zero-extend seed slot 1 = %v, want a 32-bit mov", in)
+	}
+	if in := fc.Prog.Insts[3]; in.Op != x64.XOR || in.Opd[0].Reg != in.Opd[1].Reg {
+		t.Fatalf("zero-extend seed slot 3 = %v, want the xor zero idiom", in)
+	}
+	if len(fc.Edits) != 2 || !fc.Edits[0].Swap {
+		t.Fatalf("zero-extend seed edits = %+v, want two swaps", fc.Edits)
+	}
+
+	fc = seedByName(t, "regs-dead-write-jcc-resurrect")
+	if fc.Prog.Insts[0].Op != x64.LABEL || fc.Prog.Insts[1].Op != x64.MOV {
+		t.Fatalf("jcc-resurrect seed decodes to:\n%s", fc.Prog)
+	}
+	if e := fc.Edits[0]; e.Slot != 2 || e.With.Op != x64.Jcc ||
+		e.With.Opd[0].Label != fc.Prog.Insts[0].Opd[0].Label {
+		t.Fatalf("jcc-resurrect edit 0 = %+v, want a jcc to the backward label", e)
+	}
+	if e := fc.Edits[1]; e.With.Op != x64.UNUSED {
+		t.Fatalf("jcc-resurrect edit 1 = %+v, want the jump deleted again", e)
+	}
+
+	fc = seedByName(t, "regs-div-implicit-defs")
+	if fc.Prog.Insts[0].Op != x64.DIV || fc.Prog.Insts[1].Op != x64.XOR ||
+		fc.Prog.Insts[2].Op != x64.XOR {
+		t.Fatalf("div-implicit seed decodes to:\n%s", fc.Prog)
+	}
+	if e := fc.Edits[2].With; e.Op != x64.DIV || e.Opd[0].Reg != x64.RBP {
+		t.Fatalf("div-implicit edit 2 = %v, want divq %%rbp", e)
+	}
+	if v := fc.Snap.Regs[x64.RBP]; v != 0 {
+		t.Fatalf("div-implicit RBP = %#x, want the zero divisor the edit switches to", v)
+	}
+
+	fc = seedByName(t, "regs-dead-xmm-lanes")
+	if in := fc.Prog.Insts[1]; in.Op != x64.PXOR || in.Opd[0].Reg != in.Opd[1].Reg {
+		t.Fatalf("xmm seed slot 1 = %v, want the pxor zero idiom", in)
+	}
+	if in := fc.Prog.Insts[3]; in.Op != x64.MOVUPS || in.Opd[0].Kind != x64.KindMem {
+		t.Fatalf("xmm seed slot 3 = %v, want a vector load kill", in)
+	}
+	if in := fc.Prog.Insts[4]; in.Op != x64.MOVD {
+		t.Fatalf("xmm seed slot 4 = %v, want a cross-file movd", in)
+	}
+}
+
 // TestSeedCorpusCoversBatchDivergence: the batched-evaluator seeds must
 // decode to the lockstep edges they are named for — a branch on the input
 // flags, a lane-subset divide fault followed by a branch, and a shape that

@@ -54,7 +54,12 @@
 // Candidate scoring runs on a decode-once compiled pipeline that covers
 // the whole proposal ISA — including the fixed-point SSE subset behind
 // WithSSE and the divide family — with no interpretive fallback on the
-// tracked kernels. By default the tail of each full evaluation runs
+// tracked kernels. Candidates compile against the kernel's live-out set,
+// so a backward liveness pass suppresses both the flag computation and
+// the register stores of writes nothing downstream — no condition
+// consumer, no reader before a kill, no live-out exit — can observe,
+// while preserving every read, fault and undefined-value count the cost
+// function sees. By default the tail of each full evaluation runs
 // batched: every compiled slot executes across all live testcase lanes in
 // lockstep before advancing (dispatch and operand decode paid once per
 // slot per chunk), diverging conditional jumps peel the minority side to

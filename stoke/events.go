@@ -123,6 +123,12 @@ type Event struct {
 
 	// Elapsed is the phase duration (EventPhaseEnd).
 	Elapsed time.Duration
+
+	// RegFree is the fraction of register-writing slots whose writes the
+	// register-liveness pass suppressed across the phase's chains, by the
+	// dynamic per-proposal counts (EventPhaseEnd of the synthesis and
+	// optimization phases; zero when the pass is off).
+	RegFree float64
 }
 
 // String renders the event as a single log-friendly line.
@@ -131,6 +137,10 @@ func (e Event) String() string {
 	case EventPhaseStart:
 		return fmt.Sprintf("[%s] %s round %d: start", e.Kernel, e.Phase, e.Round)
 	case EventPhaseEnd:
+		if e.RegFree > 0 {
+			return fmt.Sprintf("[%s] %s round %d: done in %v (reg-free %.0f%%)",
+				e.Kernel, e.Phase, e.Round, e.Elapsed, 100*e.RegFree)
+		}
 		return fmt.Sprintf("[%s] %s round %d: done in %v", e.Kernel, e.Phase, e.Round, e.Elapsed)
 	case EventChainImproved:
 		return fmt.Sprintf("[%s] %s chain %d: cost %.1f at proposal %d",

@@ -47,6 +47,7 @@ type settings struct {
 	sse            *bool
 	interpreted    bool
 	batched        bool
+	regLiveness    bool
 	tempering      bool
 	ladder         []float64
 	sharedProfile  bool
@@ -80,6 +81,7 @@ func defaultSettings() settings {
 		tempering:      true,
 		sharedProfile:  true,
 		batched:        true,
+		regLiveness:    true,
 		cexBank:        true,
 		verifyGate:     true,
 	}
@@ -308,6 +310,20 @@ func WithInterpretedEval() Option {
 // pass false to A/B against it. Ignored under WithInterpretedEval.
 func WithBatchedEval(enabled bool) Option {
 	return func(st *settings) { st.batched = enabled }
+}
+
+// WithRegLiveness toggles register-liveness write suppression on the
+// compiled pipeline (default on): every chain's cost function threads the
+// kernel's live-out register sets into the compiled form, so candidate
+// writes to GPRs and XMM registers the kernel cannot observe are
+// suppressed (reads, flags, faults and undefined-read accounting are
+// unchanged). Accept/reject decisions on correct rewrites are identical;
+// the Improved metric's heuristic misplacement credit may differ on
+// incorrect intermediates because its rival scan reads non-live registers.
+// Pass false to A/B the search trajectory against the unsuppressed
+// pipeline. Ignored under WithInterpretedEval.
+func WithRegLiveness(enabled bool) Option {
+	return func(st *settings) { st.regLiveness = enabled }
 }
 
 // WithSSE forces vector opcodes on or off in the proposal distribution,

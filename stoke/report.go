@@ -149,6 +149,17 @@ func rankIndex(n int, q float64) (int, bool) {
 	return i, true
 }
 
+// RegFreeFraction is the dynamic fraction of register-writing slots whose
+// writes the register-liveness pass suppressed across the run's chains
+// (Stats.RegFreeSlots over Stats.RegWritingSlots), or zero when the pass
+// was off or the chains never wrote a register.
+func (r *Report) RegFreeFraction() float64 {
+	if r.Stats.RegWritingSlots == 0 {
+		return 0
+	}
+	return float64(r.Stats.RegFreeSlots) / float64(r.Stats.RegWritingSlots)
+}
+
 // Speedup is the modelled speedup of the rewrite over the target.
 func (r *Report) Speedup() float64 {
 	if r.RewriteCycles == 0 {

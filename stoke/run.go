@@ -100,8 +100,16 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	newCost := func(perfWeight float64) *cost.Fn {
 		// The three-index slice keeps each chain's AddTest append from
 		// sharing growth room with its siblings or with the run's own
-		// refinement appends.
-		f := cost.New(tests[:len(tests):len(tests)], k.Spec.LiveOut, cost.Improved, perfWeight)
+		// refinement appends. Under register liveness the compiled pipeline
+		// suppresses candidate writes to registers outside the kernel's
+		// live-out set.
+		ts := tests[:len(tests):len(tests)]
+		var f *cost.Fn
+		if st.regLiveness && !st.interpreted {
+			f = cost.NewLive(ts, k.Spec.LiveOut, cost.Improved, perfWeight)
+		} else {
+			f = cost.New(ts, k.Spec.LiveOut, cost.Improved, perfWeight)
+		}
 		f.Shared = prof
 		return f
 	}
@@ -164,7 +172,7 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 	rep.Swaps += synthCoord.Swaps()
 	synthResults := synthCoord.Results()
 	e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name, Phase: "synthesis",
-		Elapsed: time.Since(start)})
+		Elapsed: time.Since(start), RegFree: regFreeFraction(synthResults)})
 
 	// Candidate starting points for optimization: the target, any
 	// near-miss warm start from the rewrite store (possibly incorrect for
@@ -179,6 +187,8 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		rep.Stats.Proposals += r.Stats.Proposals
 		rep.Stats.Accepts += r.Stats.Accepts
 		rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+		rep.Stats.RegFreeSlots += r.Stats.RegFreeSlots
+		rep.Stats.RegWritingSlots += r.Stats.RegWritingSlots
 		if r.ZeroCost && r.BestCorrect != nil {
 			rep.SynthesisSucceeded = true
 			starts = append(starts, r.BestCorrect)
@@ -376,7 +386,8 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		poolCands := optCoord.Pool()
 		chainSeed += int64(nChains) + 7
 		e.emit(&st, Event{Kind: EventPhaseEnd, Kernel: k.Name,
-			Phase: "optimization", Round: round, Elapsed: time.Since(start)})
+			Phase: "optimization", Round: round, Elapsed: time.Since(start),
+			RegFree: regFreeFraction(optResults)})
 
 		// Candidates: the coordinator's global pool (chains' bests
 		// harvested at every barrier, so a line later abandoned by a swap
@@ -393,6 +404,8 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 			rep.Stats.Proposals += r.Stats.Proposals
 			rep.Stats.Accepts += r.Stats.Accepts
 			rep.Stats.TestsEvaluated += r.Stats.TestsEvaluated
+			rep.Stats.RegFreeSlots += r.Stats.RegFreeSlots
+			rep.Stats.RegWritingSlots += r.Stats.RegWritingSlots
 			if r.BestCorrect != nil {
 				candidates = append(candidates, r.BestCorrect)
 				if r.BestCorrectCost < bestCost {
@@ -495,6 +508,22 @@ func (e *Engine) optimize(ctx context.Context, k Kernel, st settings) (*Report, 
 		cachePut(k, &st, form, out, tests, generated, prof)
 	}
 	return out, nil
+}
+
+// regFreeFraction is the fraction of register-writing slots whose writes
+// the register-liveness pass suppressed across a phase's chains, by the
+// dynamic per-proposal counts. Zero when the pass is off or nothing wrote
+// a register.
+func regFreeFraction(results []mcmc.Result) float64 {
+	var free, writing int64
+	for _, r := range results {
+		free += r.Stats.RegFreeSlots
+		writing += r.Stats.RegWritingSlots
+	}
+	if writing == 0 {
+		return 0
+	}
+	return float64(free) / float64(writing)
 }
 
 // fastestSurvivor re-ranks candidates (Figure 9, step 6): the fastest
